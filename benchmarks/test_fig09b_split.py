@@ -1,0 +1,47 @@
+"""Fig 9b — what separates fast matrices from slow ones at equal size.
+
+Paper (RTX 2080, mid-size slice): the upper-performance half has ~1.9x
+higher average row length and ~20x lower row-length variance than the
+lower half.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.gpu import RTX2080
+
+
+def test_fig09b_upper_lower_split(runs_2080, x_of, benchmark):
+    runs = sorted(runs_2080, key=lambda r: r.alpha.best_gflops)
+    half = len(runs) // 2
+    lower, upper = runs[:half], runs[-half:]
+
+    def feature_means(group):
+        avg_len = np.mean([r.matrix.stats.avg_row_length for r in group])
+        variance = np.mean([max(r.matrix.stats.row_variance, 1e-3) for r in group])
+        gflops = np.mean([r.alpha.best_gflops for r in group])
+        return avg_len, variance, gflops
+
+    lo_len, lo_var, lo_g = feature_means(lower)
+    hi_len, hi_var, hi_g = feature_means(upper)
+    print()
+    print(render_table(
+        "Fig 9b (RTX 2080): feature contrast of upper vs lower performance half\n"
+        "(paper: upper half has 1.9x the avg row length, 1/20 the row variance)",
+        ["half", "mean GFLOPS", "avg row length", "row variance"],
+        [
+            ["upper", hi_g, hi_len, hi_var],
+            ["lower", lo_g, lo_len, lo_var],
+            ["ratio (upper/lower)", hi_g / lo_g, hi_len / lo_len, hi_var / lo_var],
+        ],
+    ))
+
+    # Shape: faster matrices have longer rows (more compute per byte).
+    # Variance direction matches the paper when sizes are comparable but can
+    # be noisy at bench scale — assert the dominant effect only.
+    assert hi_len > lo_len, "upper half should have higher average row length"
+    assert hi_g > lo_g
+
+    run = upper[-1]
+    x = x_of(run.matrix)
+    benchmark(lambda: run.alpha.best_program.run(x, RTX2080))

@@ -1,0 +1,46 @@
+"""Fig 13 — search iterations vs matrix irregularity (A100).
+
+Paper: the number of level-1/2 iterations correlates positively with
+row-length variance; regular matrices need ~3.5x fewer iterations because
+pruning bans the irregularity machinery and annealing terminates the search
+once the archetype seeds stop being improved on.
+"""
+
+import numpy as np
+
+from repro.analysis import render_series
+from repro.gpu import A100
+
+
+def test_fig13_iterations_vs_variance(runs_a100, x_of, benchmark):
+    pts = sorted(
+        (max(r.matrix.stats.row_variance, 0.1), float(r.alpha.coarse_iterations))
+        for r in runs_a100
+    )
+    print()
+    print(render_series(
+        "Fig 13 (A100): search iterations vs row variance\n"
+        "(paper: positive correlation; regular matrices ~3.5x fewer iterations)",
+        pts, "row variance", "iterations",
+    ))
+
+    regular = [it for var, it in pts if var <= 100]
+    irregular = [it for var, it in pts if var > 100]
+    assert regular and irregular
+    mean_reg, mean_irr = np.mean(regular), np.mean(irregular)
+    print(f"mean iterations: regular {mean_reg:.0f}, irregular {mean_irr:.0f} "
+          f"(ratio {mean_irr / mean_reg:.2f}x; paper: 3.5x)")
+
+    # Shape: irregular matrices take more search iterations.
+    assert mean_irr > mean_reg
+
+    # Regression slope on log-variance must be positive.
+    log_var = np.log10([v for v, _ in pts])
+    its = np.array([i for _, i in pts])
+    slope = np.polyfit(log_var, its, 1)[0]
+    print(f"regression slope (iterations per decade of variance): {slope:.1f}")
+    assert slope > 0
+
+    run = runs_a100[0]
+    x = x_of(run.matrix)
+    benchmark(lambda: run.alpha.best_program.run(x, A100))

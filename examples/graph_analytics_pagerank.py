@@ -1,0 +1,66 @@
+"""Domain scenario: PageRank on a scale-free web graph.
+
+SpMV is the inner loop of graph analytics (one of the application domains
+the paper's introduction motivates).  This example searches a
+machine-designed kernel for a power-law adjacency matrix — the irregular
+pattern where AlphaSparse's gains are largest — then runs power iteration
+with it, accounting the simulated GPU time per iteration against cuSPARSE
+HYB, the classic choice for such graphs.
+
+Run:  python examples/graph_analytics_pagerank.py
+"""
+
+import numpy as np
+
+from repro import A100, SearchBudget, SearchEngine
+from repro.baselines import get_baseline
+from repro.sparse import power_law_matrix
+from repro.sparse.matrix import SparseMatrix
+
+
+def column_stochastic(adj: SparseMatrix) -> SparseMatrix:
+    """Normalise columns so the matrix propagates rank mass."""
+    out_degree = np.bincount(adj.cols, minlength=adj.n_cols).astype(float)
+    out_degree[out_degree == 0] = 1.0
+    vals = adj.vals / out_degree[adj.cols]
+    return SparseMatrix(adj.n_rows, adj.n_cols, adj.rows, adj.cols, vals,
+                        name=adj.name + ":stochastic")
+
+
+def pagerank(matrix: SparseMatrix, program, gpu, damping=0.85, iters=30):
+    n = matrix.n_rows
+    rank = np.full(n, 1.0 / n)
+    total_time = 0.0
+    for _ in range(iters):
+        result = program.run(rank, gpu)
+        rank = (1.0 - damping) / n + damping * result.y
+        total_time += result.total_time_s
+    return rank, total_time
+
+
+def main() -> None:
+    graph = power_law_matrix(8000, avg_degree=9, seed=13, name="webgraph")
+    matrix = column_stochastic(graph)
+    print(f"web graph: {matrix.n_rows} pages, {matrix.nnz} links, "
+          f"row variance {matrix.stats.row_variance:.0f} (irregular)")
+
+    result = SearchEngine(A100, budget=SearchBudget(max_total_evals=140),
+                          seed=2).search(matrix)
+    print(f"\nmachine-designed kernel: {result.best_gflops:.1f} GFLOPS")
+    print(result.best_graph.describe())
+
+    rank_alpha, t_alpha = pagerank(matrix, result.best_program, A100)
+    hyb_program = get_baseline("HYB").program(matrix)
+    rank_hyb, t_hyb = pagerank(matrix, hyb_program, A100)
+
+    assert np.allclose(rank_alpha, rank_hyb, atol=1e-12)
+    top = np.argsort(-rank_alpha)[:5]
+    print("\ntop pages:", ", ".join(f"#{i} ({rank_alpha[i]:.2e})" for i in top))
+    print(f"\n30 power iterations, simulated A100 kernel time:")
+    print(f"  HYB (classic graph choice): {t_hyb * 1e6:9.1f} us")
+    print(f"  machine-designed:           {t_alpha * 1e6:9.1f} us")
+    print(f"  speedup: {t_hyb / t_alpha:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

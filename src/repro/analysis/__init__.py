@@ -1,0 +1,20 @@
+"""Analysis utilities: metrics, creativity classification, report rendering."""
+
+from repro.analysis.metrics import (
+    geomean,
+    speedup,
+    speedup_histogram,
+    classify_creativity,
+    SPEEDUP_BINS,
+)
+from repro.analysis.reporting import render_table, render_series
+
+__all__ = [
+    "geomean",
+    "speedup",
+    "speedup_histogram",
+    "classify_creativity",
+    "SPEEDUP_BINS",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,147 @@
+"""Evaluation metrics used by the benchmark harness.
+
+Includes the paper's Fig 10 speedup binning and the §VII-G *creativity*
+classification: a winning Operator Graph counts as *machine-designed* when
+its operator sequence is not one of the human source-format archetypes the
+operators were distilled from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.graph import OperatorGraph
+
+__all__ = [
+    "geomean",
+    "speedup",
+    "speedup_histogram",
+    "SPEEDUP_BINS",
+    "classify_creativity",
+    "ARCHETYPE_SIGNATURES",
+]
+
+#: Fig 10's histogram bin edges (speedup over PFS).
+SPEEDUP_BINS: Tuple[float, ...] = (0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+
+
+def geomean(values: Iterable[float]) -> float:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if (arr <= 0).any():
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def speedup(candidate_gflops: float, baseline_gflops: float) -> float:
+    if baseline_gflops <= 0:
+        return float("inf")
+    return candidate_gflops / baseline_gflops
+
+
+def speedup_histogram(
+    speedups: Sequence[float], bins: Sequence[float] = SPEEDUP_BINS
+) -> List[Tuple[str, float]]:
+    """Fig 10-style frequency distribution: (bin label, percentage).
+
+    The first bucket collects everything below ``bins[0]`` and the last
+    everything at or above ``bins[-1]``.
+    """
+    arr = np.asarray(speedups, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no speedups to bin")
+    edges = list(bins)
+    labels = [f"<{edges[0]:.1f}"]
+    counts = [float((arr < edges[0]).sum())]
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        labels.append(f"{lo:.1f}-{hi:.1f}")
+        counts.append(float(((arr >= lo) & (arr < hi)).sum()))
+    labels.append(f">={edges[-1]:.1f}")
+    counts.append(float((arr >= edges[-1]).sum()))
+    total = arr.size
+    return [(label, 100.0 * c / total) for label, c in zip(labels, counts)]
+
+
+# ---------------------------------------------------------------------------
+# Creativity classification (§VII-G)
+# ---------------------------------------------------------------------------
+
+#: Operator sequences of the human source formats (parameters ignored).
+#: A winning graph matching none of these is a *machine-designed* format.
+ARCHETYPE_SIGNATURES: Dict[str, Tuple[str, ...]] = {
+    "CSR-Scalar": ("COMPRESS", "BMT_ROW_BLOCK", "SET_RESOURCES",
+                   "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"),
+    "CSR-Vector": ("COMPRESS", "BMW_ROW_BLOCK", "SET_RESOURCES",
+                   "WARP_TOTAL_RED", "GMEM_DIRECT_STORE"),
+    "ELL": ("COMPRESS", "BMT_ROW_BLOCK", "BMT_PAD", "INTERLEAVED_STORAGE",
+            "SET_RESOURCES", "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"),
+    "SELL": ("SORT", "COMPRESS", "BMTB_ROW_BLOCK", "BMT_ROW_BLOCK",
+             "BMT_PAD", "INTERLEAVED_STORAGE", "SET_RESOURCES",
+             "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"),
+    "CSR5": ("COMPRESS", "BMW_NNZ_BLOCK", "BMT_NNZ_BLOCK",
+             "INTERLEAVED_STORAGE", "SET_RESOURCES", "THREAD_BITMAP_RED",
+             "WARP_SEG_RED", "GMEM_ATOM_RED"),
+    "Merge": ("COMPRESS", "BMTB_NNZ_BLOCK", "BMT_NNZ_BLOCK",
+              "SET_RESOURCES", "THREAD_BITMAP_RED", "SHMEM_OFFSET_RED",
+              "GMEM_ATOM_RED"),
+    "CSR-Adaptive": ("COMPRESS", "BMTB_ROW_BLOCK", "SET_RESOURCES",
+                     "SHMEM_OFFSET_RED", "GMEM_DIRECT_STORE"),
+    "row-grouped CSR": ("COMPRESS", "BMTB_ROW_BLOCK", "SET_RESOURCES",
+                        "GMEM_ATOM_RED"),
+    "COO": ("COMPRESS", "SET_RESOURCES", "GMEM_ATOM_RED"),
+}
+
+
+def classify_creativity(graph: OperatorGraph, matrix=None) -> Dict[str, object]:
+    """Classify a winning graph (paper §VII-G).
+
+    The paper's design space has three dimensions — format *structure*,
+    kernel, and *parameters* (Fig 1b: "every position of the design space
+    represents an SpMV program").  A winner is therefore graded at two
+    levels:
+
+    * ``structure_matches`` — the operator sequence equals a source-format
+      archetype (parameters ignored);
+    * ``matches`` — the winner *is* the source format: same structure AND
+      the parameter values the published implementation uses.  Requires
+      ``matrix`` (several baselines auto-size parameters per matrix); when
+      ``matrix`` is None this degrades to the structural comparison.
+
+    ``machine_designed`` is True when the winner matches no source format at
+    the finest available level — a SELL-like layout with a new slice height
+    is a new machine-designed format (the literature names such variants
+    separately, e.g. SELL-C-sigma), while an exact CSR-Vector is not.
+    """
+    ops = tuple(graph.operator_names())
+    structure_matches: Optional[str] = None
+    for name, signature in ARCHETYPE_SIGNATURES.items():
+        if ops == signature:
+            structure_matches = name
+            break
+
+    matches: Optional[str] = None
+    if matrix is not None:
+        from repro.baselines.base import BASELINE_REGISTRY, GraphBaseline
+
+        for name, baseline in BASELINE_REGISTRY.items():
+            if not isinstance(baseline, GraphBaseline):
+                continue
+            try:
+                if baseline.graph(matrix).signature() == graph.signature():
+                    matches = name
+                    break
+            except Exception:  # inapplicable baselines cannot match
+                continue
+    else:
+        matches = structure_matches
+
+    return {
+        "machine_designed": matches is None,
+        "structure_novel": structure_matches is None,
+        "matches": matches,
+        "structure_matches": structure_matches,
+        "branching": graph.has_branches,
+    }

@@ -1,0 +1,67 @@
+"""Baseline SpMV formats (paper §VII-B).
+
+Three classes of comparison, all running on the same simulated GPU:
+
+* **Artificial formats** — ACSR, CSR-Adaptive, CSR5, Merge-based CSR, HYB
+  (the five SOTA of Fig 9a), plus root formats COO/CSR/ELL/DIA and derived
+  SELL / row-grouped CSR.
+* **Format selector** — :class:`~repro.baselines.pfs.PerfectFormatSelector`,
+  the 100 %-accuracy oracle over ten member formats.
+* **Tensor algebra compiler** — :class:`~repro.baselines.taco.TacoBaseline`.
+"""
+
+from repro.baselines.base import (
+    BaselineMeasurement,
+    SpmvBaseline,
+    GraphBaseline,
+    BASELINE_REGISTRY,
+    register_baseline,
+    get_baseline,
+)
+
+# Importing the format modules populates the registry.
+from repro.baselines.coo import CooBaseline
+from repro.baselines.csr import CsrBaseline, CsrScalarBaseline, CsrVectorBaseline
+from repro.baselines.ell import EllBaseline
+from repro.baselines.dia import DiaBaseline
+from repro.baselines.sell import SellBaseline
+from repro.baselines.rowgrouped import RowGroupedCsrBaseline
+from repro.baselines.csr_adaptive import CsrAdaptiveBaseline
+from repro.baselines.csr5 import Csr5Baseline
+from repro.baselines.merge import MergeCsrBaseline
+from repro.baselines.acsr import AcsrBaseline
+from repro.baselines.hyb import HybBaseline
+from repro.baselines.taco import TacoBaseline
+from repro.baselines.pfs import (
+    PFS_MEMBERS,
+    SOTA_FORMATS,
+    PerfectFormatSelector,
+    PfsSelection,
+)
+
+__all__ = [
+    "BaselineMeasurement",
+    "SpmvBaseline",
+    "GraphBaseline",
+    "BASELINE_REGISTRY",
+    "register_baseline",
+    "get_baseline",
+    "CooBaseline",
+    "CsrBaseline",
+    "CsrScalarBaseline",
+    "CsrVectorBaseline",
+    "EllBaseline",
+    "DiaBaseline",
+    "SellBaseline",
+    "RowGroupedCsrBaseline",
+    "CsrAdaptiveBaseline",
+    "Csr5Baseline",
+    "MergeCsrBaseline",
+    "AcsrBaseline",
+    "HybBaseline",
+    "TacoBaseline",
+    "PFS_MEMBERS",
+    "SOTA_FORMATS",
+    "PerfectFormatSelector",
+    "PfsSelection",
+]

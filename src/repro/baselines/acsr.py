@@ -1,0 +1,52 @@
+"""ACSR baseline [24] (implemented from the paper, as the authors did).
+
+Adaptive CSR bins rows by length and launches a differently-shaped kernel
+per bin: thread-per-row for short bins, warp-per-row for medium bins and a
+whole block per very long row — the binning cost the paper's Fig 14
+analysis calls "expensive ... because the matrix is not too irregular".
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import GraphBaseline, register_baseline
+from repro.core.graph import GraphNode, OperatorGraph
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["AcsrBaseline"]
+
+
+@register_baseline
+class AcsrBaseline(GraphBaseline):
+    name = "ACSR"
+
+    def graph(self, matrix: SparseMatrix) -> OperatorGraph:
+        short_child = [
+            GraphNode("COMPRESS"),
+            GraphNode("BMT_ROW_BLOCK", {"rows_per_block": 1}),
+            GraphNode("SET_RESOURCES", {"threads_per_block": 256}),
+            GraphNode("THREAD_TOTAL_RED"),
+            GraphNode("GMEM_ATOM_RED"),
+        ]
+        medium_child = [
+            GraphNode("COMPRESS"),
+            GraphNode("BMW_ROW_BLOCK", {"rows_per_block": 1}),
+            GraphNode("SET_RESOURCES", {"threads_per_block": 256}),
+            GraphNode("WARP_TOTAL_RED"),
+            GraphNode("GMEM_ATOM_RED"),
+        ]
+        long_child = [
+            GraphNode("COMPRESS"),
+            GraphNode("BMW_ROW_BLOCK", {"rows_per_block": 1}),
+            GraphNode("SET_RESOURCES", {"threads_per_block": 256}),
+            GraphNode("WARP_TOTAL_RED"),
+            GraphNode("GMEM_ATOM_RED"),
+        ]
+        return OperatorGraph(
+            [
+                GraphNode(
+                    "BIN",
+                    {"n_bins": 3},
+                    children=[short_child, medium_child, long_child],
+                )
+            ]
+        )

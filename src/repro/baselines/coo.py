@@ -1,0 +1,27 @@
+"""COO baseline (root format; cuSPARSE COO in the paper's PFS).
+
+One element per grid-stride step, every partial atomically added to ``y`` —
+perfectly load balanced, maximally atomic-bound.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import GraphBaseline, register_baseline
+from repro.core.graph import OperatorGraph
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["CooBaseline"]
+
+
+@register_baseline
+class CooBaseline(GraphBaseline):
+    name = "COO"
+
+    def graph(self, matrix: SparseMatrix) -> OperatorGraph:
+        return OperatorGraph.from_names(
+            [
+                "COMPRESS",
+                ("SET_RESOURCES", {"threads_per_block": 256, "work_per_thread": 1}),
+                "GMEM_ATOM_RED",
+            ]
+        )

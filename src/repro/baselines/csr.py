@@ -1,0 +1,62 @@
+"""CSR baseline (cuSPARSE v11.6 CSR in the paper's PFS).
+
+cuSPARSE picks scalar vs vector internally by average row length; the same
+auto-configuration is mirrored here: short rows get a thread each
+(CSR-Scalar), longer rows a warp each (CSR-Vector with shuffle reduction).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import GraphBaseline, register_baseline
+from repro.core.graph import OperatorGraph
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["CsrBaseline", "CsrScalarBaseline", "CsrVectorBaseline"]
+
+
+@register_baseline
+class CsrScalarBaseline(GraphBaseline):
+    """One row per thread, serial register reduction, direct store."""
+
+    name = "CSR-Scalar"
+
+    def graph(self, matrix: SparseMatrix) -> OperatorGraph:
+        return OperatorGraph.from_names(
+            [
+                "COMPRESS",
+                ("BMT_ROW_BLOCK", {"rows_per_block": 1}),
+                ("SET_RESOURCES", {"threads_per_block": 256}),
+                "THREAD_TOTAL_RED",
+                "GMEM_DIRECT_STORE",
+            ]
+        )
+
+
+@register_baseline
+class CsrVectorBaseline(GraphBaseline):
+    """One row per warp, shuffle reduction, direct store."""
+
+    name = "CSR-Vector"
+
+    def graph(self, matrix: SparseMatrix) -> OperatorGraph:
+        return OperatorGraph.from_names(
+            [
+                "COMPRESS",
+                ("BMW_ROW_BLOCK", {"rows_per_block": 1}),
+                ("SET_RESOURCES", {"threads_per_block": 256}),
+                "WARP_TOTAL_RED",
+                "GMEM_DIRECT_STORE",
+            ]
+        )
+
+
+@register_baseline
+class CsrBaseline(GraphBaseline):
+    """cuSPARSE-style CSR: scalar/vector switch on average row length."""
+
+    name = "CSR"
+
+    def graph(self, matrix: SparseMatrix) -> OperatorGraph:
+        if matrix.stats.avg_row_length < 4.0:
+            return CsrScalarBaseline().graph(matrix)
+        return CsrVectorBaseline().graph(matrix)

@@ -1,0 +1,39 @@
+"""CSR-Adaptive baseline [22], [34] (ViennaCL 1.7.1 in the paper).
+
+CSR-Stream's idea: size row blocks so each thread block streams a bounded
+chunk of non-zeros into shared memory coalesced, then reduce by row offsets
+in shared memory.  No register-level reduction — the weakness the paper's
+Fig 14 analysis identifies ("ignorance of thread-level reduction").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import GraphBaseline, register_baseline
+from repro.core.graph import OperatorGraph
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["CsrAdaptiveBaseline"]
+
+#: Non-zeros each thread block should stream (CSR-Stream's shared-mem sizing).
+_TARGET_NNZ_PER_BLOCK = 2048
+
+
+@register_baseline
+class CsrAdaptiveBaseline(GraphBaseline):
+    name = "CSR-Adaptive"
+
+    def graph(self, matrix: SparseMatrix) -> OperatorGraph:
+        stats = matrix.stats
+        rows_per_block = max(
+            1,
+            min(1024, int(_TARGET_NNZ_PER_BLOCK / max(stats.avg_row_length, 1.0))),
+        )
+        return OperatorGraph.from_names(
+            [
+                "COMPRESS",
+                ("BMTB_ROW_BLOCK", {"rows_per_block": rows_per_block}),
+                ("SET_RESOURCES", {"threads_per_block": 256}),
+                "SHMEM_OFFSET_RED",
+                "GMEM_DIRECT_STORE",
+            ]
+        )

@@ -1,0 +1,40 @@
+"""Merge-based CSR baseline [27] (Merrill & Garland's merge-spmv).
+
+The merge-path decomposition gives every thread block an *exactly* equal
+share of (rows + nnz) work; threads walk their share serially across row
+boundaries and the block reduces carry-rows in shared memory.  The other
+top artificial format of the paper's Fig 9a.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import GraphBaseline, register_baseline
+from repro.core.graph import OperatorGraph
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["MergeCsrBaseline"]
+
+
+@register_baseline
+class MergeCsrBaseline(GraphBaseline):
+    name = "Merge"
+
+    def items_per_thread(self, matrix: SparseMatrix) -> int:
+        """merge-spmv sizes its grid to fill the device: items per thread
+        grow with the matrix so the thread count tracks the GPU's capacity."""
+        return int(max(1, min(8, matrix.nnz // 16384)))
+
+    def graph(self, matrix: SparseMatrix) -> OperatorGraph:
+        ipt = self.items_per_thread(matrix)
+        per_block = 256 * ipt
+        return OperatorGraph.from_names(
+            [
+                "COMPRESS",
+                ("BMTB_NNZ_BLOCK", {"nnz_per_block": per_block}),
+                ("BMT_NNZ_BLOCK", {"nnz_per_block": ipt}),
+                ("SET_RESOURCES", {"threads_per_block": 256}),
+                "THREAD_BITMAP_RED",
+                "SHMEM_OFFSET_RED",
+                "GMEM_ATOM_RED",
+            ]
+        )

@@ -1,0 +1,78 @@
+"""Perfect Format Selector (paper §VII-B).
+
+The paper's stand-in for traditional auto-tuners: "PFS can certainly select
+the best formats by directly running SpMV of all candidate formats" — a
+100 %-accuracy oracle over ten members: the five state-of-the-art formats
+(ACSR, CSR-Adaptive, CSR5, Merge, HYB), three cuSPARSE root formats (ELL,
+COO, CSR) and two derived formats (SELL, row-grouped CSR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.base import (
+    BaselineMeasurement,
+    SpmvBaseline,
+    get_baseline,
+)
+from repro.gpu.arch import GPUSpec
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["PFS_MEMBERS", "SOTA_FORMATS", "PerfectFormatSelector", "PfsSelection"]
+
+#: The five state-of-the-art artificial formats of Fig 9a.
+SOTA_FORMATS = ["ACSR", "CSR-Adaptive", "CSR5", "Merge", "HYB"]
+
+#: The full PFS membership of §VII-B.
+PFS_MEMBERS = SOTA_FORMATS + ["ELL", "COO", "CSR", "SELL", "row-grouped CSR"]
+
+
+@dataclass
+class PfsSelection:
+    """The oracle's pick plus every member's measurement."""
+
+    best: BaselineMeasurement
+    all_measurements: List[BaselineMeasurement]
+
+    @property
+    def gflops(self) -> float:
+        return self.best.gflops
+
+    @property
+    def selected_format(self) -> str:
+        return self.best.baseline
+
+    def by_name(self) -> Dict[str, BaselineMeasurement]:
+        return {m.baseline: m for m in self.all_measurements}
+
+
+class PerfectFormatSelector:
+    """Runs every member format and returns the fastest."""
+
+    def __init__(self, members: Optional[List[str]] = None) -> None:
+        self.member_names = list(members) if members else list(PFS_MEMBERS)
+
+    @property
+    def members(self) -> List[SpmvBaseline]:
+        return [get_baseline(name) for name in self.member_names]
+
+    def select(
+        self,
+        matrix: SparseMatrix,
+        gpu: GPUSpec,
+        x: Optional[np.ndarray] = None,
+    ) -> PfsSelection:
+        if x is None:
+            x = np.random.default_rng(0x5EED).random(matrix.n_cols)
+        measurements = [b.measure(matrix, gpu, x) for b in self.members]
+        usable = [m for m in measurements if m.applicable and m.correct]
+        if not usable:
+            raise RuntimeError(
+                f"no PFS member could handle matrix {matrix.name!r}"
+            )
+        best = max(usable, key=lambda m: m.gflops)
+        return PfsSelection(best=best, all_measurements=measurements)

@@ -1,0 +1,33 @@
+"""Row-grouped CSR baseline [28], [35].
+
+Groups of consecutive rows are mapped to thread blocks whose threads stream
+the group's non-zeros cooperatively; partial results go straight to global
+memory with atomics — the "inefficient global memory reduction" the paper's
+Fig 14 discussion calls out, paired with a low padding rate.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import GraphBaseline, register_baseline
+from repro.core.graph import OperatorGraph
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["RowGroupedCsrBaseline"]
+
+
+@register_baseline
+class RowGroupedCsrBaseline(GraphBaseline):
+    name = "row-grouped CSR"
+
+    def graph(self, matrix: SparseMatrix) -> OperatorGraph:
+        # Group size targets ~4 rows per warp of the block, as in [35].
+        stats = matrix.stats
+        rows_per_block = max(32, min(512, int(4096 / max(stats.avg_row_length, 1.0))))
+        return OperatorGraph.from_names(
+            [
+                "COMPRESS",
+                ("BMTB_ROW_BLOCK", {"rows_per_block": rows_per_block}),
+                ("SET_RESOURCES", {"threads_per_block": 128}),
+                "GMEM_ATOM_RED",
+            ]
+        )

@@ -1,0 +1,37 @@
+"""SELL (Sliced ELLPACK) baseline [36], [38].
+
+Rows are globally length-sorted, sliced into chunks of 32, each slice padded
+to its own maximum and stored column-major — ELL's coalescing without ELL's
+global padding blow-up.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import GraphBaseline, register_baseline
+from repro.core.graph import OperatorGraph
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["SellBaseline"]
+
+
+@register_baseline
+class SellBaseline(GraphBaseline):
+    name = "SELL"
+
+    #: slice height (the C of SELL-C-sigma); 32 matches warp width.
+    slice_rows = 32
+
+    def graph(self, matrix: SparseMatrix) -> OperatorGraph:
+        return OperatorGraph.from_names(
+            [
+                "SORT",
+                "COMPRESS",
+                ("BMTB_ROW_BLOCK", {"rows_per_block": self.slice_rows}),
+                ("BMT_ROW_BLOCK", {"rows_per_block": 1}),
+                ("BMT_PAD", {"mode": "max"}),
+                "INTERLEAVED_STORAGE",
+                ("SET_RESOURCES", {"threads_per_block": 256}),
+                "THREAD_TOTAL_RED",
+                "GMEM_DIRECT_STORE",
+            ]
+        )

@@ -1,0 +1,33 @@
+"""TACO baseline [30] — the tensor-algebra-compiler comparison (§VII-E).
+
+TACO's automatically generated CUDA SpMV is a straightforward
+row-parallel CSR kernel: no warp-level primitives, no shared-memory
+staging, no load balancing — the two deficiencies the paper cites ("not
+tailored for SpMV", "lacks the utilization of GPU features").  Modelled as
+CSR-Scalar with an unfused atomic finish and compiler-default launch
+configuration.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import GraphBaseline, register_baseline
+from repro.core.graph import OperatorGraph
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["TacoBaseline"]
+
+
+@register_baseline
+class TacoBaseline(GraphBaseline):
+    name = "TACO"
+
+    def graph(self, matrix: SparseMatrix) -> OperatorGraph:
+        return OperatorGraph.from_names(
+            [
+                "COMPRESS",
+                ("BMT_ROW_BLOCK", {"rows_per_block": 1}),
+                ("SET_RESOURCES", {"threads_per_block": 256}),
+                "THREAD_TOTAL_RED",
+                "GMEM_ATOM_RED",
+            ]
+        )

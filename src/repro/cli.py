@@ -1,0 +1,199 @@
+"""Command-line interface — the paper's user contract as a tool.
+
+"Users only need to input a Matrix Market file of a sparse matrix, and
+AlphaSparse will output a matrix stored in a specific format and a kernel
+implementation" (§III).
+
+Commands::
+
+    python -m repro search <matrix.mtx | @named> [--gpu A100] [--evals N]
+                           [--out DIR] [--no-pruning] [--extensions] [--seed S]
+    python -m repro baselines <matrix.mtx | @named> [--gpu A100]
+    python -m repro stats <matrix.mtx | @named>
+    python -m repro operators
+    python -m repro matrices
+
+``@name`` selects one of the built-in named matrices (e.g. ``@scfxm1-2r``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.baselines import PFS_MEMBERS, PerfectFormatSelector, get_baseline
+from repro.core.operators import OPERATOR_REGISTRY, Stage
+from repro.export import export_program
+from repro.gpu import gpu_by_name
+from repro.search import SearchBudget, SearchEngine
+from repro.sparse import NAMED_MATRICES, named_matrix, read_matrix_market
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["main"]
+
+
+def _load_matrix(spec: str) -> SparseMatrix:
+    if spec.startswith("@"):
+        return named_matrix(spec[1:])
+    return read_matrix_market(spec)
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    gpu = gpu_by_name(args.gpu)
+    stats = matrix.stats
+    print(f"matrix {matrix.name or args.matrix}: {matrix.n_rows}x{matrix.n_cols}, "
+          f"nnz={matrix.nnz}, row variance={stats.row_variance:.1f} "
+          f"({'irregular' if stats.is_irregular else 'regular'})")
+    engine = SearchEngine(
+        gpu,
+        budget=SearchBudget(max_total_evals=args.evals),
+        seed=args.seed,
+        enable_pruning=not args.no_pruning,
+        enable_extensions=args.extensions,
+    )
+    result = engine.search(matrix)
+    print(f"\nsearch: {result.total_evaluations} evaluations over "
+          f"{result.structures_tried} structures in {result.wall_time_s:.1f}s"
+          + (f", banned: {sorted(result.banned_operators)}"
+             if result.banned_operators else ""))
+    print(f"best machine-designed SpMV: {result.best_gflops:.1f} GFLOPS "
+          f"({gpu.name} model)")
+    print("\nwinning Operator Graph:")
+    print(result.best_graph.describe())
+    if args.compare_pfs:
+        pfs = PerfectFormatSelector().select(matrix, gpu)
+        print(f"\nPFS picks {pfs.selected_format}: {pfs.gflops:.1f} GFLOPS "
+              f"-> speedup {result.best_gflops / pfs.gflops:.2f}x")
+    if args.out:
+        manifest = export_program(result.best_program, args.out, result.best_graph)
+        print(f"\nartifact exported: {manifest}")
+    else:
+        print("\ngenerated kernel:")
+        print(result.best_program.source())
+    return 0
+
+
+def _cmd_baselines(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    gpu = gpu_by_name(args.gpu)
+    x = np.random.default_rng(0).random(matrix.n_cols)
+    rows = []
+    for name in PFS_MEMBERS + ["DIA", "TACO", "CSR-Scalar", "CSR-Vector"]:
+        meas = get_baseline(name).measure(matrix, gpu, x)
+        rows.append([
+            name,
+            meas.gflops if meas.applicable else "n/a",
+            "yes" if meas.correct else ("-" if not meas.applicable else "NO"),
+        ])
+    rows.sort(key=lambda r: r[1] if isinstance(r[1], float) else -1.0,
+              reverse=True)
+    print(render_table(
+        f"Baselines on {matrix.name or args.matrix} ({gpu.name} model)",
+        ["format", "GFLOPS", "correct"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    s = matrix.stats
+    print(render_table(
+        f"{matrix.name or args.matrix}",
+        ["property", "value"],
+        [
+            ["rows", s.n_rows],
+            ["cols", s.n_cols],
+            ["nnz", s.nnz],
+            ["avg row length", s.avg_row_length],
+            ["row variance", s.row_variance],
+            ["max row length", s.max_row_length],
+            ["min row length", s.min_row_length],
+            ["empty rows", s.empty_rows],
+            ["density", s.density],
+            ["irregular (paper def.)", str(s.is_irregular)],
+        ],
+    ))
+    return 0
+
+
+def _cmd_operators(_args: argparse.Namespace) -> int:
+    rows = []
+    for stage in Stage:
+        for op in sorted(OPERATOR_REGISTRY.values(), key=lambda o: o.name):
+            if op.stage is not stage:
+                continue
+            params = ", ".join(p.name for p in op.params) or "-"
+            rows.append([op.name, stage.name.lower(), params, op.source])
+    print(render_table(
+        "Registered operators (paper Table II + extensions)",
+        ["operator", "stage", "parameters", "source"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_matrices(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in NAMED_MATRICES:
+        m = named_matrix(name)
+        rows.append([name, m.n_rows, m.nnz, m.stats.row_variance])
+    print(render_table(
+        "Built-in named matrices (stand-ins for the paper's case studies)",
+        ["name", "rows", "nnz", "row variance"],
+        rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AlphaSparse reproduction: machine-designed SpMV from a matrix",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("search", help="search a machine-designed format+kernel")
+    p.add_argument("matrix", help="Matrix Market path or @named-matrix")
+    p.add_argument("--gpu", default="A100")
+    p.add_argument("--evals", type=int, default=200,
+                   help="max program evaluations")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="export artifact directory")
+    p.add_argument("--no-pruning", action="store_true")
+    p.add_argument("--extensions", action="store_true",
+                   help="enable future-work operators (HYB_DECOMP)")
+    p.add_argument("--compare-pfs", action="store_true",
+                   help="also run the Perfect Format Selector")
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("baselines", help="measure every baseline format")
+    p.add_argument("matrix")
+    p.add_argument("--gpu", default="A100")
+    p.set_defaults(func=_cmd_baselines)
+
+    p = sub.add_parser("stats", help="print a matrix's sparsity statistics")
+    p.add_argument("matrix")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("operators", help="list registered operators")
+    p.set_defaults(func=_cmd_operators)
+
+    p = sub.add_parser("matrices", help="list built-in named matrices")
+    p.set_defaults(func=_cmd_matrices)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""AlphaSparse core: Operator Graph IR, Designer, Format & Kernel Generator.
+
+The pipeline (paper Fig 4):
+
+``OperatorGraph`` → :class:`~repro.core.designer.Designer` executes the
+operators against a :class:`~repro.core.metadata.MatrixMetadataSet` →
+:class:`~repro.core.kernel.builder.KernelBuilder` and
+:class:`~repro.core.format.FormatConstructor` project the metadata into a
+machine-designed format plus an executable kernel
+(:class:`~repro.core.kernel.program.GeneratedProgram`), optimised by
+Model-Driven Format Compression (:mod:`repro.core.optimizer`).
+"""
+
+from repro.core.metadata import MatrixMetadataSet
+from repro.core.graph import GraphNode, OperatorGraph, GraphValidationError
+from repro.core.designer import Designer, DesignError
+from repro.core.format import FormatArray, MachineDesignedFormat
+from repro.core.kernel.program import GeneratedProgram, ProgramResult
+from repro.core.kernel.builder import KernelBuilder, build_program
+from repro.core.optimizer import ModelDrivenCompressor, CompressionModel
+from repro.core.operators import OPERATOR_REGISTRY, get_operator
+
+__all__ = [
+    "MatrixMetadataSet",
+    "GraphNode",
+    "OperatorGraph",
+    "GraphValidationError",
+    "Designer",
+    "DesignError",
+    "FormatArray",
+    "MachineDesignedFormat",
+    "GeneratedProgram",
+    "ProgramResult",
+    "KernelBuilder",
+    "build_program",
+    "ModelDrivenCompressor",
+    "CompressionModel",
+    "OPERATOR_REGISTRY",
+    "get_operator",
+]

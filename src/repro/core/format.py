@@ -1,0 +1,132 @@
+"""Format construction (paper §V-B).
+
+"All arrays of a format are extracted from the Matrix Metadata Set by
+choosing the metadata needed by the kernel."  The constructor collects the
+element arrays (values / column indices), the auxiliary arrays the mapping
+operators recorded (offsets, sizes, column bases), and ``origin_rows`` when
+row reordering made it non-trivial — then runs Model-Driven Format
+Compression over every auxiliary integer array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.metadata import MatrixMetadataSet
+from repro.core.optimizer import CompressionModel, ModelDrivenCompressor
+from repro.gpu.memory import INDEX_BYTES, VALUE_BYTES
+
+__all__ = ["FormatArray", "MachineDesignedFormat", "build_format"]
+
+
+@dataclass
+class FormatArray:
+    """One named array of a machine-designed format.
+
+    ``model`` is set when Model-Driven Compression replaced the array by a
+    closed form; the array then costs only its exception table.
+    """
+
+    name: str
+    data: np.ndarray
+    element_bytes: int
+    model: Optional[CompressionModel] = None
+
+    @property
+    def raw_bytes(self) -> int:
+        return int(self.data.size * self.element_bytes)
+
+    @property
+    def stored_bytes(self) -> int:
+        if self.model is not None:
+            return self.model.stored_bytes
+        return self.raw_bytes
+
+    @property
+    def compressed(self) -> bool:
+        return self.model is not None
+
+
+@dataclass
+class MachineDesignedFormat:
+    """The data layout a generated kernel consumes."""
+
+    name: str
+    arrays: List[FormatArray]
+
+    def array(self, name: str) -> FormatArray:
+        for arr in self.arrays:
+            if arr.name == name:
+                return arr
+        raise KeyError(f"format has no array {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(arr.name == name for arr in self.arrays)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(arr.stored_bytes for arr in self.arrays)
+
+    @property
+    def raw_bytes(self) -> int:
+        """Footprint before Model-Driven Compression."""
+        return sum(arr.raw_bytes for arr in self.arrays)
+
+    @property
+    def aux_bytes(self) -> int:
+        """Bytes of everything except the value/column streams — what the
+        execution plan charges as ``extra_format_bytes``."""
+        return sum(
+            arr.stored_bytes
+            for arr in self.arrays
+            if arr.name not in ("values", "col_indices")
+        )
+
+    @property
+    def compression_ratio(self) -> float:
+        raw = self.raw_bytes
+        return self.total_bytes / raw if raw else 1.0
+
+    def describe(self) -> str:
+        lines = [f"format {self.name}: {self.total_bytes} bytes"]
+        for arr in self.arrays:
+            tag = (
+                f"model[{arr.model.kind}]" if arr.model is not None else "array"
+            )
+            lines.append(
+                f"  {arr.name:<24} {tag:<22} {arr.stored_bytes:>10} B"
+                f" (raw {arr.raw_bytes} B)"
+            )
+        return "\n".join(lines)
+
+
+def build_format(
+    meta: MatrixMetadataSet,
+    compressor: Optional[ModelDrivenCompressor] = None,
+    name: str = "machine-designed",
+) -> MachineDesignedFormat:
+    """Extract the format from final metadata and compress its index arrays.
+
+    ``compressor=None`` disables Model-Driven Compression (used by the
+    Fig 14c ablation benchmark).
+    """
+    arrays: List[FormatArray] = [
+        FormatArray("values", meta.elem_val, VALUE_BYTES),
+        FormatArray("col_indices", meta.elem_col.astype(np.int64), INDEX_BYTES),
+    ]
+    origin = meta.origin_rows
+    if not np.array_equal(origin, np.arange(origin.size)):
+        arrays.append(FormatArray("origin_rows", origin, INDEX_BYTES))
+    for key in sorted(meta.format_arrays):
+        arrays.append(
+            FormatArray(key, np.asarray(meta.format_arrays[key]), INDEX_BYTES)
+        )
+    if compressor is not None:
+        for arr in arrays:
+            if arr.name in ("values", "col_indices"):
+                continue
+            arr.model = compressor.fit(arr.data)
+    return MachineDesignedFormat(name=name, arrays=arrays)

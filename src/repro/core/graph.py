@@ -1,0 +1,241 @@
+"""Operator Graph — the paper's key data structure (§IV-B).
+
+An Operator Graph is an ordered composition of operators, optionally
+branching at ROW_DIV / COL_DIV / BIN nodes: every branch child carries its
+own sub-sequence, so different parts of the matrix can receive different
+machine-designed formats and kernels (§VII-G reports 16.5 % of winning
+graphs branch).
+
+The graph is *structural*: nodes carry operator names and parameter values;
+executing it is the Designer's job.  Validation here covers the static
+dependency rules (stage ordering, single global reduction, branch shape);
+data-dependent rules (e.g. a TOTAL reduction meeting a multi-row scope) are
+enforced during design/execution, and the search engine treats those
+failures as dead candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.operators import Stage, get_operator
+
+__all__ = ["GraphNode", "OperatorGraph", "GraphValidationError"]
+
+
+class GraphValidationError(ValueError):
+    """Static dependency rule violated (paper §IV-B)."""
+
+
+@dataclass
+class GraphNode:
+    """One operator application: name, parameter values, branch children.
+
+    ``children`` is only meaningful for branching operators; each child is
+    the operator sequence applied to one sub-matrix.  An empty ``children``
+    on a branching node means every sub-matrix continues with the *rest* of
+    the parent sequence (the common shared-template case).
+    """
+
+    op_name: str
+    params: Dict[str, object] = field(default_factory=dict)
+    children: List[List["GraphNode"]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        op = get_operator(self.op_name)  # raises for unknown names
+        self.params = op.resolve_params(self.params)
+        if self.children and not op.branching:
+            raise GraphValidationError(
+                f"{self.op_name} is not a branching operator but has children"
+            )
+
+    @property
+    def operator(self):
+        return get_operator(self.op_name)
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"op": self.op_name, "params": dict(self.params)}
+        if self.children:
+            data["children"] = [
+                [node.to_dict() for node in child] for child in self.children
+            ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "GraphNode":
+        children = [
+            [cls.from_dict(nd) for nd in child]  # type: ignore[union-attr]
+            for child in data.get("children", [])  # type: ignore[union-attr]
+        ]
+        return cls(
+            op_name=str(data["op"]),
+            params=dict(data.get("params", {})),  # type: ignore[arg-type]
+            children=children,
+        )
+
+
+class OperatorGraph:
+    """An ordered, possibly branching sequence of operator applications."""
+
+    def __init__(self, nodes: Sequence[GraphNode]) -> None:
+        self.nodes: List[GraphNode] = list(nodes)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_names(
+        cls, ops: Sequence[object]
+    ) -> "OperatorGraph":
+        """Build a linear graph from names or (name, params) tuples."""
+        nodes: List[GraphNode] = []
+        for item in ops:
+            if isinstance(item, str):
+                nodes.append(GraphNode(item))
+            elif isinstance(item, GraphNode):
+                nodes.append(item)
+            else:
+                name, params = item  # type: ignore[misc]
+                nodes.append(GraphNode(name, dict(params)))
+        return cls(nodes)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"nodes": [n.to_dict() for n in self.nodes]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "OperatorGraph":
+        return cls([GraphNode.from_dict(nd) for nd in data["nodes"]])  # type: ignore[union-attr]
+
+    def copy(self) -> "OperatorGraph":
+        return OperatorGraph.from_dict(self.to_dict())
+
+    # ------------------------------------------------------------------
+    # Validation (static rules)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        self._validate_sequence(self.nodes, depth=0)
+
+    def _validate_sequence(self, nodes: Sequence[GraphNode], depth: int) -> None:
+        if depth > 4:
+            raise GraphValidationError("branch nesting too deep")
+        if not nodes:
+            raise GraphValidationError("empty operator sequence")
+        last_stage = Stage.CONVERTING
+        saw_global = False
+        for i, node in enumerate(nodes):
+            op = node.operator
+            if op.stage < last_stage:
+                raise GraphValidationError(
+                    f"{op.name} ({op.stage.name.lower()}) cannot follow a "
+                    f"{last_stage.name.lower()} operator"
+                )
+            last_stage = op.stage
+            if saw_global:
+                raise GraphValidationError(
+                    f"{op.name} appears after the global reduction"
+                )
+            if op.branching:
+                rest = list(nodes[i + 1 :])
+                if node.children:
+                    if rest:
+                        raise GraphValidationError(
+                            f"{op.name} with explicit children must be the "
+                            "last node of its sequence"
+                        )
+                    for child in node.children:
+                        self._validate_sequence(child, depth + 1)
+                    return
+                if not rest:
+                    raise GraphValidationError(
+                        f"{op.name} without children needs a continuation "
+                        "sequence for the sub-matrices"
+                    )
+                self._validate_sequence(rest, depth + 1)
+                return
+            if op.stage is Stage.IMPLEMENTING and getattr(op, "level", "") == "global":
+                saw_global = True
+        if not saw_global:
+            raise GraphValidationError(
+                "operator sequence must end with a global reduction "
+                "(GMEM_ATOM_RED or GMEM_DIRECT_STORE)"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[GraphNode]:
+        """Every node, branches included, in depth-first order."""
+        stack: List[GraphNode] = list(reversed(self.nodes))
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in reversed(node.children):
+                stack.extend(reversed(child))
+
+    def operator_names(self) -> List[str]:
+        return [node.op_name for node in self.walk()]
+
+    @property
+    def has_branches(self) -> bool:
+        return any(node.children for node in self.walk()) or any(
+            node.operator.branching for node in self.walk()
+        )
+
+    def depth(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def signature(self) -> Tuple:
+        """Hashable identity of structure + parameters (search memoisation)."""
+
+        def node_sig(node: GraphNode) -> Tuple:
+            return (
+                node.op_name,
+                tuple(sorted(node.params.items())),
+                tuple(
+                    tuple(node_sig(nd) for nd in child) for child in node.children
+                ),
+            )
+
+        return tuple(node_sig(n) for n in self.nodes)
+
+    def structure_signature(self) -> Tuple:
+        """Identity of the structure only (parameters ignored)."""
+
+        def node_sig(node: GraphNode) -> Tuple:
+            return (
+                node.op_name,
+                tuple(
+                    tuple(node_sig(nd) for nd in child) for child in node.children
+                ),
+            )
+
+        return tuple(node_sig(n) for n in self.nodes)
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering (paper Fig 14a style)."""
+        lines: List[str] = []
+
+        def emit(nodes: Sequence[GraphNode], indent: int) -> None:
+            pad = "  " * indent
+            for node in nodes:
+                params = ", ".join(f"{k}={v}" for k, v in node.params.items())
+                lines.append(f"{pad}{node.op_name}({params})")
+                for j, child in enumerate(node.children):
+                    lines.append(f"{pad}  branch {j}:")
+                    emit(child, indent + 2)
+
+        emit(self.nodes, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<OperatorGraph {' -> '.join(n.op_name for n in self.nodes)}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OperatorGraph):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())

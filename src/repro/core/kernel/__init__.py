@@ -1,0 +1,21 @@
+"""Kernel generation: skeleton + fragments spliced into executable programs.
+
+The :class:`~repro.core.kernel.builder.KernelBuilder` projects final design
+metadata into an :class:`~repro.gpu.executor.ExecutionPlan` (the executable
+side) while :mod:`repro.core.kernel.codegen` renders the equivalent CUDA-like
+source (the readable side, paper Figs 6-7).
+"""
+
+from repro.core.kernel.program import GeneratedProgram, KernelUnit, ProgramResult
+from repro.core.kernel.builder import BuildError, KernelBuilder, build_program
+from repro.core.kernel.codegen import generate_source
+
+__all__ = [
+    "GeneratedProgram",
+    "KernelUnit",
+    "ProgramResult",
+    "BuildError",
+    "KernelBuilder",
+    "build_program",
+    "generate_source",
+]

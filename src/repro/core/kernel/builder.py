@@ -1,0 +1,295 @@
+"""Kernel Builder (paper §V-C): metadata → execution plan.
+
+The builder performs the *Distribution* half of kernel construction — it
+derives, from the mapping-stage block structure, which CUDA thread touches
+which stored element and what the launch geometry is.  The *Reduction* half
+is carried by the metadata's reduction chain, which the executor interprets
+(and :mod:`repro.core.kernel.codegen` renders as spliced fragments).
+
+Distribution rules per finest mapped level:
+
+========  ==========================================================
+``bmt``   each BMT is one thread; chunk-contiguous access
+``bmw``   BMW elements round-robin over the warp's 32 lanes
+``bmtb``  BMTB elements round-robin over the block's threads
+(none)    grid-stride loop over ``grid_threads`` (COO style)
+========  ==========================================================
+
+Round-robin distributions are naturally coalesced (consecutive lanes read
+consecutive addresses); chunked BMT access is strided unless
+INTERLEAVED_STORAGE transposed the layout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.designer import Designer, DesignLeaf
+from repro.core.format import MachineDesignedFormat, build_format
+from repro.core.graph import OperatorGraph
+from repro.core.kernel.codegen import generate_source
+from repro.core.kernel.program import GeneratedProgram, KernelUnit
+from repro.core.metadata import MatrixMetadataSet
+from repro.core.optimizer import ModelDrivenCompressor
+from repro.gpu.executor import ExecutionPlan, ReductionStep
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["BuildError", "KernelBuilder", "build_program"]
+
+#: CUDA hard limit the builder refuses to exceed.
+MAX_THREADS_PER_BLOCK = 1024
+WARP = 32
+
+
+class BuildError(RuntimeError):
+    """The design cannot be realised as a CUDA kernel (e.g. >1024 threads
+    per block, or a warp mapped to more than 32 BMTs)."""
+
+
+def _block_starts(blocks: np.ndarray) -> np.ndarray:
+    """Start position of each dense-id block in storage order."""
+    if blocks.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.flatnonzero(np.r_[True, blocks[1:] != blocks[:-1]])
+
+
+def _parent_of_block(child: np.ndarray, parent: np.ndarray) -> np.ndarray:
+    """Parent block id of each child block (nesting is validated upstream)."""
+    starts = _block_starts(child)
+    return parent[starts]
+
+
+def _first_child_of_parent(parent_of_child: np.ndarray) -> np.ndarray:
+    """First child id per parent (children are globally numbered in order)."""
+    n_parents = int(parent_of_child.max()) + 1 if parent_of_child.size else 0
+    first = np.zeros(n_parents, dtype=np.int64)
+    # children are sorted by parent; first occurrence index == child id
+    starts = np.flatnonzero(
+        np.r_[True, parent_of_child[1:] != parent_of_child[:-1]]
+    )
+    first[parent_of_child[starts]] = starts
+    return first
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+class KernelBuilder:
+    """Builds executable plans (and programs) from design leaves."""
+
+    def __init__(
+        self,
+        compressor: Optional[ModelDrivenCompressor] = None,
+        designer: Optional[Designer] = None,
+        precision: str = "fp32",
+    ) -> None:
+        if precision not in ("fp32", "fp64"):
+            raise ValueError("precision must be 'fp32' or 'fp64'")
+        self.compressor = compressor
+        self.designer = designer or Designer()
+        self.precision = precision
+
+    # ------------------------------------------------------------------
+    def build_plan(
+        self, meta: MatrixMetadataSet, fmt: MachineDesignedFormat, label: str = "root"
+    ) -> ExecutionPlan:
+        thread_of_nz, n_threads, tpb, run_length = self._distribute(meta)
+        steps = tuple(
+            ReductionStep(level, strategy) for level, strategy in meta.reduction_steps
+        )
+        if not steps or steps[-1].level != "global":
+            raise BuildError("design has no global reduction step")
+        orig_rows = int(meta.get("orig_n_rows", meta.n_rows))
+        out_rows = meta.origin_rows[meta.elem_row]
+        return ExecutionPlan(
+            n_rows=orig_rows,
+            n_cols=meta.n_cols,
+            useful_nnz=meta.useful_nnz,
+            values=meta.elem_val,
+            col_indices=meta.elem_col,
+            out_rows=out_rows,
+            thread_of_nz=thread_of_nz,
+            n_threads=n_threads,
+            threads_per_block=tpb,
+            reduction_steps=steps,
+            interleaved=meta.interleaved,
+            extra_format_bytes=float(fmt.aux_bytes),
+            storage_run_length=run_length,
+            value_bytes=8 if self.precision == "fp64" else 4,
+            label=label,
+        )
+
+    # ------------------------------------------------------------------
+    def _distribute(
+        self, meta: MatrixMetadataSet
+    ) -> Tuple[np.ndarray, int, int, float]:
+        """Returns (thread_of_nz, n_threads, threads_per_block, run_length)."""
+        n = meta.stored_elements
+        bmt = meta.blocks_of("bmt")
+        bmw = meta.blocks_of("bmw")
+        bmtb = meta.blocks_of("bmtb")
+        tpb_cfg = meta.threads_per_block
+
+        if bmt is not None:
+            n_bmt = int(meta.n_blocks("bmt") or 0)
+            counts = np.bincount(bmt, minlength=n_bmt)
+            run = float(counts[counts > 0].mean()) if n_bmt else 1.0
+            if bmw is not None:
+                parent_w = _parent_of_block(bmt, bmw)
+                first_bmt = _first_child_of_parent(parent_w)
+                lane_of_bmt = np.arange(n_bmt) - first_bmt[parent_w]
+                if lane_of_bmt.max(initial=0) >= WARP:
+                    raise BuildError("a warp was mapped to more than 32 BMTs")
+                if bmtb is not None:
+                    parent_b = _parent_of_block(bmw, bmtb)
+                    first_bmw = _first_child_of_parent(parent_b)
+                    warp_in_block = np.arange(parent_b.size) - first_bmw[parent_b]
+                    warps_per_block = int(warp_in_block.max(initial=0)) + 1
+                    tpb = warps_per_block * WARP
+                    self._check_tpb(tpb)
+                    n_bmtb = int(meta.n_blocks("bmtb") or 0)
+                    thread_of_bmt = (
+                        parent_b[parent_w] * tpb
+                        + warp_in_block[parent_w] * WARP
+                        + lane_of_bmt
+                    )
+                    n_threads = n_bmtb * tpb
+                else:
+                    tpb = tpb_cfg
+                    thread_of_bmt = parent_w * WARP + lane_of_bmt
+                    n_threads = (int(meta.n_blocks("bmw") or 0)) * WARP
+            elif bmtb is not None:
+                parent_b = _parent_of_block(bmt, bmtb)
+                first_bmt = _first_child_of_parent(parent_b)
+                bmt_in_block = np.arange(n_bmt) - first_bmt[parent_b]
+                tpb = _round_up(int(bmt_in_block.max(initial=0)) + 1, WARP)
+                self._check_tpb(tpb)
+                n_bmtb = int(meta.n_blocks("bmtb") or 0)
+                thread_of_bmt = parent_b * tpb + bmt_in_block
+                n_threads = n_bmtb * tpb
+            else:
+                tpb = tpb_cfg
+                thread_of_bmt = np.arange(n_bmt, dtype=np.int64)
+                n_threads = max(n_bmt, 1)
+            thread_of_nz = thread_of_bmt[bmt]
+            return thread_of_nz.astype(np.int64), int(max(n_threads, 1)), tpb, run
+
+        if bmw is not None:
+            starts = _block_starts(bmw)
+            offset = np.zeros(int(bmw.max()) + 1, dtype=np.int64)
+            offset[bmw[starts]] = starts
+            pos = np.arange(n, dtype=np.int64) - offset[bmw]
+            lane = pos % WARP
+            if bmtb is not None:
+                parent_b = _parent_of_block(bmw, bmtb)
+                first_bmw = _first_child_of_parent(parent_b)
+                warp_in_block = np.arange(parent_b.size) - first_bmw[parent_b]
+                warps_per_block = int(warp_in_block.max(initial=0)) + 1
+                tpb = warps_per_block * WARP
+                self._check_tpb(tpb)
+                n_bmtb = int(meta.n_blocks("bmtb") or 0)
+                thread_of_nz = (
+                    parent_b[bmw] * tpb + warp_in_block[bmw] * WARP + lane
+                )
+                n_threads = n_bmtb * tpb
+            else:
+                tpb = tpb_cfg
+                thread_of_nz = bmw * WARP + lane
+                n_threads = (int(meta.n_blocks("bmw") or 0)) * WARP
+            return thread_of_nz.astype(np.int64), int(max(n_threads, 1)), tpb, 1.0
+
+        if bmtb is not None:
+            tpb = tpb_cfg
+            starts = _block_starts(bmtb)
+            offset = np.zeros(int(bmtb.max()) + 1, dtype=np.int64)
+            offset[bmtb[starts]] = starts
+            pos = np.arange(n, dtype=np.int64) - offset[bmtb]
+            thread_of_nz = bmtb * tpb + pos % tpb
+            n_bmtb = int(meta.n_blocks("bmtb") or 0)
+            return thread_of_nz.astype(np.int64), max(n_bmtb * tpb, 1), tpb, 1.0
+
+        # Unmapped: COO-style grid-stride loop.
+        tpb = tpb_cfg
+        grid = meta.grid_threads or min(max(n, 1), 4096 * WARP)
+        grid = _round_up(int(grid), WARP)
+        thread_of_nz = np.arange(n, dtype=np.int64) % grid
+        return thread_of_nz, grid, tpb, 1.0
+
+    @staticmethod
+    def _check_tpb(tpb: int) -> None:
+        if tpb > MAX_THREADS_PER_BLOCK:
+            raise BuildError(
+                f"design requires {tpb} threads per block "
+                f"(CUDA limit {MAX_THREADS_PER_BLOCK})"
+            )
+
+    # ------------------------------------------------------------------
+    def build_unit(self, leaf: DesignLeaf) -> KernelUnit:
+        fmt = build_format(leaf.meta, self.compressor, name=f"fmt_{leaf.label}")
+        plan = self.build_plan(leaf.meta, fmt, label=leaf.label)
+        source = generate_source(leaf.meta, fmt, plan)
+        return KernelUnit(
+            label=leaf.label,
+            plan=plan,
+            format=fmt,
+            source=source,
+            applied_operators=list(leaf.meta.applied_operators),
+        )
+
+    def build(self, matrix: SparseMatrix, graph: OperatorGraph) -> GeneratedProgram:
+        leaves = self.designer.design(matrix, graph)
+        kernels = [self.build_unit(leaf) for leaf in leaves]
+        self._check_cross_kernel_writes(kernels)
+        return GeneratedProgram(
+            matrix_name=matrix.name,
+            n_rows=matrix.n_rows,
+            n_cols=matrix.n_cols,
+            useful_nnz=matrix.nnz,
+            kernels=kernels,
+        )
+
+    @staticmethod
+    def _check_cross_kernel_writes(kernels) -> None:
+        """Multi-kernel programs (COL_DIV / HYB_DECOMP branches) accumulate
+        into the same rows; a kernel that plain-stores a row another kernel
+        also writes would lose updates on real hardware."""
+        if len(kernels) < 2:
+            return
+        rows_written = []
+        for unit in kernels:
+            valid = unit.plan.out_rows >= 0
+            rows_written.append(np.unique(unit.plan.out_rows[valid]))
+        for i, unit in enumerate(kernels):
+            if unit.plan.reduction_steps[-1].strategy != "GMEM_DIRECT_STORE":
+                continue
+            for j, other_rows in enumerate(rows_written):
+                if i == j:
+                    continue
+                if np.intersect1d(
+                    rows_written[i], other_rows, assume_unique=True
+                ).size:
+                    raise BuildError(
+                        "GMEM_DIRECT_STORE in one kernel conflicts with rows "
+                        "written by another kernel; use GMEM_ATOM_RED"
+                    )
+
+
+def build_program(
+    matrix: SparseMatrix,
+    graph: OperatorGraph,
+    compress: bool = True,
+    precision: str = "fp32",
+) -> GeneratedProgram:
+    """Convenience one-shot: design, generate, optimise.
+
+    ``compress=False`` disables Model-Driven Format Compression (ablation);
+    ``precision="fp64"`` builds a double-precision kernel (the paper
+    evaluates fp32; fp64 is a library extension).
+    """
+    compressor = ModelDrivenCompressor() if compress else None
+    return KernelBuilder(compressor=compressor, precision=precision).build(
+        matrix, graph
+    )

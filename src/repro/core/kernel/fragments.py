@@ -1,0 +1,147 @@
+"""Kernel fragments and adapters (paper Fig 6, right).
+
+Fragments are the pre-defined code pieces spliced into the skeleton's
+slots: "get meta of BMX" loads of format arrays, "reduction in ..." blocks
+per strategy, and *Adapters* — the assignment-only fragments that bridge
+non-orthogonal reduction pairs (e.g. a thread-level result living in a
+register must be copied into shared memory before a block-level reduction
+can consume it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "reduction_fragment",
+    "adapter_between",
+    "get_meta_fragment",
+    "REDUCTION_OUTPUT_SPACE",
+]
+
+#: Where each strategy leaves its partial results.
+REDUCTION_OUTPUT_SPACE: Dict[str, str] = {
+    "THREAD_TOTAL_RED": "register",
+    "THREAD_BITMAP_RED": "register",
+    "WARP_TOTAL_RED": "register",
+    "WARP_BITMAP_RED": "register",
+    "WARP_SEG_RED": "register",
+    "SHMEM_OFFSET_RED": "shared",
+    "SHMEM_TOTAL_RED": "shared",
+}
+
+#: Where each strategy expects its inputs.
+_REDUCTION_INPUT_SPACE: Dict[str, str] = {
+    "THREAD_TOTAL_RED": "register",
+    "THREAD_BITMAP_RED": "register",
+    "WARP_TOTAL_RED": "register",
+    "WARP_BITMAP_RED": "register",
+    "WARP_SEG_RED": "register",
+    "SHMEM_OFFSET_RED": "shared",
+    "SHMEM_TOTAL_RED": "shared",
+    "GMEM_ATOM_RED": "any",
+    "GMEM_DIRECT_STORE": "any",
+}
+
+_FRAGMENTS: Dict[str, List[str]] = {
+    "THREAD_TOTAL_RED": [
+        "// THREAD_TOTAL_RED: serial register reduction, one row per thread",
+        "float thread_result = 0.0f;",
+        "for (int nz = bmt_nz_begin; nz < bmt_nz_end; ++nz)",
+        "    thread_result += val_arr[nz] * x[col_indices[nz]];",
+    ],
+    "THREAD_BITMAP_RED": [
+        "// THREAD_BITMAP_RED: serial reduction across bitmap row boundaries",
+        "float thread_result = 0.0f;",
+        "for (int nz = bmt_nz_begin; nz < bmt_nz_end; ++nz) {",
+        "    thread_result += val_arr[nz] * x[col_indices[nz]];",
+        "    if (row_bitmap_bit(nz)) { flush_partial(thread_result, row_of(nz)); thread_result = 0.0f; }",
+        "}",
+    ],
+    "WARP_TOTAL_RED": [
+        "// WARP_TOTAL_RED: shuffle-reduce the warp to one row result",
+        "for (int off = 16; off > 0; off >>= 1)",
+        "    thread_result += __shfl_down_sync(0xffffffff, thread_result, off);",
+    ],
+    "WARP_SEG_RED": [
+        "// WARP_SEG_RED: segmented warp scan keyed by row boundaries",
+        "float carry = segmented_warp_scan(thread_result, row_boundary_mask);",
+        "if (lane_is_segment_tail) flush_partial(carry, segment_row);",
+    ],
+    "WARP_BITMAP_RED": [
+        "// WARP_BITMAP_RED: bitmap-guided warp reduction",
+        "unsigned mask = __ballot_sync(0xffffffff, is_row_head);",
+        "float carry = bitmap_warp_reduce(thread_result, mask);",
+        "if (is_row_tail) flush_partial(carry, my_row);",
+    ],
+    "SHMEM_OFFSET_RED": [
+        "// SHMEM_OFFSET_RED: row-offset-guided block reduction",
+        "__syncthreads();",
+        "for (int r = first_row_of_block + threadIdx.x; r < last_row_of_block; r += blockDim.x) {",
+        "    float acc = 0.0f;",
+        "    for (int s = shmem_row_offset[r]; s < shmem_row_offset[r + 1]; ++s)",
+        "        acc += shmem_partials[s];",
+        "    block_result[r] = acc;",
+        "}",
+        "__syncthreads();",
+    ],
+    "SHMEM_TOTAL_RED": [
+        "// SHMEM_TOTAL_RED: tree-reduce the whole block into one row",
+        "for (int stride = blockDim.x / 2; stride > 0; stride >>= 1) {",
+        "    __syncthreads();",
+        "    if (threadIdx.x < stride)",
+        "        shmem_partials[threadIdx.x] += shmem_partials[threadIdx.x + stride];",
+        "}",
+    ],
+    "GMEM_ATOM_RED": [
+        "// GMEM_ATOM_RED: atomic flush of surviving partials",
+        "atomicAdd(&y[out_row], partial_result);",
+    ],
+    "GMEM_DIRECT_STORE": [
+        "// GMEM_DIRECT_STORE: single producer per row, plain store",
+        "y[out_row] = partial_result;",
+    ],
+}
+
+_ADAPTERS: Dict[Tuple[str, str], List[str]] = {
+    ("register", "shared"): [
+        "// Adapter: copy register partials into shared memory layout",
+        "shmem_partials[threadIdx.x] = thread_result;",
+        "__syncthreads();",
+    ],
+    ("shared", "register"): [
+        "// Adapter: load shared partial back to a register",
+        "float partial_result = shmem_partials[threadIdx.x];",
+    ],
+}
+
+
+def reduction_fragment(strategy: str) -> List[str]:
+    """Code lines of a reduction strategy's fragment."""
+    try:
+        return list(_FRAGMENTS[strategy])
+    except KeyError:
+        raise KeyError(f"no fragment for strategy {strategy!r}") from None
+
+
+def adapter_between(producer: str, consumer: str) -> List[str]:
+    """Adapter fragment between two reduction strategies (paper Fig 6).
+
+    Returns an empty list when the producer's output space already matches
+    the consumer's input space.
+    """
+    out_space = REDUCTION_OUTPUT_SPACE.get(producer, "register")
+    in_space = _REDUCTION_INPUT_SPACE.get(consumer, "register")
+    if in_space in ("any", out_space):
+        return []
+    return list(_ADAPTERS.get((out_space, in_space), []))
+
+
+def get_meta_fragment(level: str, array_names: List[str]) -> List[str]:
+    """'get meta of BMX' fragment: loads of the format arrays a loop level
+    needs, discovered by data-dependency analysis (here: name prefixes)."""
+    lines = [f"// get meta of {level.upper()}"]
+    idx = f"{level}_id"
+    for name in array_names:
+        lines.append(f"int {name}_v = {name}[{idx}];")
+    return lines

@@ -1,0 +1,73 @@
+"""Kernel skeleton (paper Fig 6, left).
+
+The skeleton is the root symbol of kernel generation: a nest of loops over
+the parallelism levels that are mapped (thread block / warp / thread), each
+loop carrying slots for "get meta of BMX" fragments, the multiply-add body,
+and "reduction in ..." fragments.  :mod:`repro.core.kernel.codegen` fills
+the slots with fragments and adapters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["LoopLevel", "KernelSkeleton"]
+
+_INDENT = "    "
+
+
+@dataclass
+class LoopLevel:
+    """One loop of the nest: its header, meta slots and reduction slot."""
+
+    name: str                       # "BMTB" / "BMW" / "BMT" / "NZ"
+    header: str                     # the C for-statement
+    get_meta: List[str] = field(default_factory=list)
+    body: List[str] = field(default_factory=list)
+    reduction: List[str] = field(default_factory=list)
+
+
+@dataclass
+class KernelSkeleton:
+    """Loop nest plus prologue/epilogue, rendered to CUDA-like text."""
+
+    kernel_name: str
+    args: List[str]
+    prologue: List[str] = field(default_factory=list)
+    loops: List[LoopLevel] = field(default_factory=list)
+    epilogue: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines: List[str] = []
+        arg_list = ", ".join(self.args)
+        lines.append(f"__global__ void {self.kernel_name}({arg_list}) {{")
+        for stmt in self.prologue:
+            lines.append(_INDENT + stmt)
+        depth = 1
+
+        def emit(loop_idx: int) -> None:
+            nonlocal depth
+            if loop_idx >= len(self.loops):
+                return
+            loop = self.loops[loop_idx]
+            pad = _INDENT * depth
+            lines.append(f"{pad}// loop over {loop.name}s")
+            lines.append(pad + loop.header + " {")
+            depth += 1
+            inner_pad = _INDENT * depth
+            for stmt in loop.get_meta:
+                lines.append(inner_pad + stmt)
+            for stmt in loop.body:
+                lines.append(inner_pad + stmt)
+            emit(loop_idx + 1)
+            for stmt in loop.reduction:
+                lines.append(inner_pad + stmt)
+            depth -= 1
+            lines.append(_INDENT * depth + "}")
+
+        emit(0)
+        for stmt in self.epilogue:
+            lines.append(_INDENT + stmt)
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,298 @@
+"""Matrix Metadata Set — the mutable matrix state operators transform.
+
+The paper (§V-A) describes this as "a huge key-value memory database whose
+contents are used to generate formats and kernels".  We implement exactly
+that: a dictionary of named arrays/scalars with typed helpers for the hot
+entries.  Operators mutate the set in order; after the whole Operator Graph
+has run, the set contains the cumulative effect of every design decision and
+is projected into format arrays and an execution plan.
+
+Canonical entries
+-----------------
+``elem_row`` / ``elem_col`` / ``elem_val`` / ``elem_pad``
+    Element arrays in *storage order* (padding included; ``elem_pad`` marks
+    padded zeros).  ``elem_row`` holds **current** row ids — converting
+    operators that reorder rows remap it.
+``origin_rows``
+    Maps current row id → original matrix row, composed across SORT/BIN.
+``bmtb_of_elem`` / ``bmw_of_elem`` / ``bmt_of_elem``
+    Global block id per element for each mapping level (absent until the
+    corresponding *_BLOCK operator runs).  Blocks are contiguous in storage
+    order and nest inside coarser levels.
+``format_arrays``
+    dict of auxiliary index arrays the eventual kernel must load (offsets,
+    sizes, origin-row tables) — the machine-designed format minus
+    values/columns.
+``reduction_steps`` / ``threads_per_block`` / ``interleaved``
+    Implementing-stage state consumed by the kernel builder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["MatrixMetadataSet", "MetadataError"]
+
+
+class MetadataError(RuntimeError):
+    """An operator found the metadata in a state it cannot transform."""
+
+
+#: Mapping levels in coarse-to-fine order.
+MAP_LEVELS = ("bmtb", "bmw", "bmt")
+
+
+class MatrixMetadataSet:
+    """Key-value store describing the evolving matrix state.
+
+    Use :meth:`from_matrix` to initialise from an input matrix; operators
+    then call the typed accessors below (or :meth:`get`/:meth:`put` for
+    user-defined entries, mirroring the paper's extensibility claim).
+    """
+
+    def __init__(self, store: Optional[Dict[str, object]] = None) -> None:
+        self._store: Dict[str, object] = store if store is not None else {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(cls, matrix: SparseMatrix) -> "MatrixMetadataSet":
+        """Initial metadata: raw triplets, identity row mapping, no blocks."""
+        meta = cls()
+        meta._store.update(
+            {
+                "n_rows": matrix.n_rows,
+                "orig_n_rows": matrix.n_rows,
+                "n_cols": matrix.n_cols,
+                "useful_nnz": matrix.nnz,
+                "matrix_name": matrix.name,
+                "elem_row": matrix.rows.copy(),
+                "elem_col": matrix.cols.copy(),
+                "elem_val": matrix.vals.copy(),
+                "elem_pad": np.zeros(matrix.nnz, dtype=bool),
+                "origin_rows": np.arange(matrix.n_rows, dtype=np.int64),
+                "compressed": False,
+                "format_arrays": {},
+                "reduction_steps": [],
+                "threads_per_block": 128,
+                "grid_threads": None,
+                "interleaved": False,
+                "applied_operators": [],
+            }
+        )
+        return meta
+
+    def copy(self) -> "MatrixMetadataSet":
+        """Deep-enough copy: arrays copied, scalars shared."""
+        new_store: Dict[str, object] = {}
+        for key, value in self._store.items():
+            if isinstance(value, np.ndarray):
+                new_store[key] = value.copy()
+            elif isinstance(value, dict):
+                new_store[key] = {
+                    k: (v.copy() if isinstance(v, np.ndarray) else v)
+                    for k, v in value.items()
+                }
+            elif isinstance(value, list):
+                new_store[key] = list(value)
+            else:
+                new_store[key] = value
+        return MatrixMetadataSet(new_store)
+
+    # ------------------------------------------------------------------
+    # Generic key-value interface (paper: user-extensible database)
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: object = None) -> object:
+        return self._store.get(key, default)
+
+    def put(self, key: str, value: object) -> None:
+        self._store[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def keys(self):
+        return self._store.keys()
+
+    # ------------------------------------------------------------------
+    # Typed accessors for canonical entries
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return int(self._store["n_rows"])  # current (possibly sub-matrix) rows
+
+    @property
+    def n_cols(self) -> int:
+        return int(self._store["n_cols"])
+
+    @property
+    def useful_nnz(self) -> int:
+        return int(self._store["useful_nnz"])
+
+    @property
+    def elem_row(self) -> np.ndarray:
+        return self._store["elem_row"]  # type: ignore[return-value]
+
+    @elem_row.setter
+    def elem_row(self, value: np.ndarray) -> None:
+        self._store["elem_row"] = value
+
+    @property
+    def elem_col(self) -> np.ndarray:
+        return self._store["elem_col"]  # type: ignore[return-value]
+
+    @elem_col.setter
+    def elem_col(self, value: np.ndarray) -> None:
+        self._store["elem_col"] = value
+
+    @property
+    def elem_val(self) -> np.ndarray:
+        return self._store["elem_val"]  # type: ignore[return-value]
+
+    @elem_val.setter
+    def elem_val(self, value: np.ndarray) -> None:
+        self._store["elem_val"] = value
+
+    @property
+    def elem_pad(self) -> np.ndarray:
+        return self._store["elem_pad"]  # type: ignore[return-value]
+
+    @elem_pad.setter
+    def elem_pad(self, value: np.ndarray) -> None:
+        self._store["elem_pad"] = value
+
+    @property
+    def origin_rows(self) -> np.ndarray:
+        return self._store["origin_rows"]  # type: ignore[return-value]
+
+    @origin_rows.setter
+    def origin_rows(self, value: np.ndarray) -> None:
+        self._store["origin_rows"] = value
+
+    @property
+    def compressed(self) -> bool:
+        return bool(self._store["compressed"])
+
+    @compressed.setter
+    def compressed(self, value: bool) -> None:
+        self._store["compressed"] = value
+
+    @property
+    def stored_elements(self) -> int:
+        return int(self.elem_row.shape[0])
+
+    @property
+    def format_arrays(self) -> Dict[str, np.ndarray]:
+        return self._store["format_arrays"]  # type: ignore[return-value]
+
+    @property
+    def reduction_steps(self) -> List[Tuple[str, str]]:
+        return self._store["reduction_steps"]  # type: ignore[return-value]
+
+    @property
+    def threads_per_block(self) -> int:
+        return int(self._store["threads_per_block"])
+
+    @threads_per_block.setter
+    def threads_per_block(self, value: int) -> None:
+        self._store["threads_per_block"] = int(value)
+
+    @property
+    def grid_threads(self) -> Optional[int]:
+        value = self._store.get("grid_threads")
+        return None if value is None else int(value)
+
+    @grid_threads.setter
+    def grid_threads(self, value: Optional[int]) -> None:
+        self._store["grid_threads"] = value
+
+    @property
+    def interleaved(self) -> bool:
+        return bool(self._store["interleaved"])
+
+    @interleaved.setter
+    def interleaved(self, value: bool) -> None:
+        self._store["interleaved"] = bool(value)
+
+    @property
+    def applied_operators(self) -> List[str]:
+        return self._store["applied_operators"]  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Block helpers
+    # ------------------------------------------------------------------
+    def blocks_of(self, level: str) -> Optional[np.ndarray]:
+        """Per-element global block id for ``level`` or None if absent."""
+        if level not in MAP_LEVELS:
+            raise ValueError(f"unknown mapping level {level!r}")
+        return self._store.get(f"{level}_of_elem")  # type: ignore[return-value]
+
+    def set_blocks(self, level: str, block_of_elem: np.ndarray, n_blocks: int) -> None:
+        if level not in MAP_LEVELS:
+            raise ValueError(f"unknown mapping level {level!r}")
+        self._store[f"{level}_of_elem"] = block_of_elem
+        self._store[f"n_{level}"] = int(n_blocks)
+
+    def n_blocks(self, level: str) -> Optional[int]:
+        value = self._store.get(f"n_{level}")
+        return None if value is None else int(value)
+
+    def finest_level(self) -> Optional[str]:
+        """The finest mapping level defined so far (None = unmapped)."""
+        for level in reversed(MAP_LEVELS):
+            if self.blocks_of(level) is not None:
+                return level
+        return None
+
+    def coarsest_level(self) -> Optional[str]:
+        for level in MAP_LEVELS:
+            if self.blocks_of(level) is not None:
+                return level
+        return None
+
+    # ------------------------------------------------------------------
+    # Invariants (cheap; called by the designer after every operator)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        n = self.stored_elements
+        for key in ("elem_col", "elem_val", "elem_pad"):
+            arr = self._store[key]
+            if arr.shape != (n,):  # type: ignore[union-attr]
+                raise MetadataError(f"{key} length {arr.shape} != elem_row {n}")
+        pad = self.elem_pad
+        if n and not np.all(self.elem_val[pad] == 0.0):
+            raise MetadataError("padding elements must carry value 0")
+        real = ~pad
+        if int(real.sum()) != self.useful_nnz:
+            raise MetadataError(
+                f"real element count {int(real.sum())} != useful_nnz {self.useful_nnz}"
+            )
+        rows = self.elem_row
+        if n and (rows.min() < 0 or rows.max() >= self.n_rows):
+            raise MetadataError("elem_row out of range")
+        if self.origin_rows.shape != (self.n_rows,):
+            raise MetadataError("origin_rows length must equal n_rows")
+        # Blocks must be contiguous in storage order and nested.
+        prev: Optional[np.ndarray] = None
+        for level in MAP_LEVELS:
+            blocks = self.blocks_of(level)
+            if blocks is None:
+                continue
+            if blocks.shape != (n,):
+                raise MetadataError(f"{level}_of_elem length mismatch")
+            if n and np.any(np.diff(blocks) < 0):
+                raise MetadataError(f"{level} blocks not contiguous in storage order")
+            if prev is not None and n:
+                # each fine block lies inside one coarse block
+                change_fine = np.flatnonzero(np.diff(blocks) != 0)
+                coarse_change = np.flatnonzero(np.diff(prev) != 0)
+                if not np.isin(coarse_change, change_fine).all():
+                    raise MetadataError(
+                        f"{level} blocks do not nest inside coarser level"
+                    )
+            prev = blocks

@@ -1,0 +1,36 @@
+"""Operators — the fine-grained SpMV design strategies of Table II.
+
+Every operator is registered in :data:`OPERATOR_REGISTRY`; the search engine
+enumerates them through :func:`get_operator` / :func:`operators_in_stage`.
+Users can extend AlphaSparse by subclassing
+:class:`~repro.core.operators.base.Operator` and calling
+:func:`~repro.core.operators.base.register_operator` (paper §IV-A: "AlphaSparse
+allows users to implement operators by themselves").
+"""
+
+from repro.core.operators.base import (
+    Operator,
+    OperatorError,
+    ParamSpec,
+    Stage,
+    OPERATOR_REGISTRY,
+    get_operator,
+    operators_in_stage,
+    register_operator,
+)
+
+# Importing the stage modules populates the registry.
+from repro.core.operators import converting as _converting  # noqa: F401
+from repro.core.operators import mapping as _mapping  # noqa: F401
+from repro.core.operators import implementing as _implementing  # noqa: F401
+
+__all__ = [
+    "Operator",
+    "OperatorError",
+    "ParamSpec",
+    "Stage",
+    "OPERATOR_REGISTRY",
+    "get_operator",
+    "operators_in_stage",
+    "register_operator",
+]

@@ -1,0 +1,402 @@
+"""Converting-stage operators: define the compressed memory layout.
+
+Table II (converting): ROW_DIV, COL_DIV, SORT, SORT_SUB, BIN, COMPRESS.
+Branching operators (ROW_DIV, COL_DIV, BIN) do not transform metadata
+directly — they *partition* it; the Designer executes them by splitting the
+metadata set and recursing into the graph's children (paper Fig 4, upper
+right).  Their ``partition`` method returns the element partition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.metadata import MatrixMetadataSet
+from repro.core.operators.base import (
+    Operator,
+    OperatorError,
+    ParamSpec,
+    Stage,
+    register_operator,
+)
+
+__all__ = ["Compress", "Sort", "SortSub", "Bin", "RowDiv", "ColDiv"]
+
+
+def _renumber_rows(meta: MatrixMetadataSet, new_of_old: np.ndarray) -> None:
+    """Apply a row permutation: remap element rows, compose origin mapping,
+    and restore row-major storage order (stable, preserves column order)."""
+    meta.elem_row = new_of_old[meta.elem_row]
+    old_of_new = np.empty_like(new_of_old)
+    old_of_new[new_of_old] = np.arange(new_of_old.size)
+    meta.origin_rows = meta.origin_rows[old_of_new]
+    order = np.argsort(meta.elem_row, kind="stable")
+    meta.elem_row = meta.elem_row[order]
+    meta.elem_col = meta.elem_col[order]
+    meta.elem_val = meta.elem_val[order]
+    meta.elem_pad = meta.elem_pad[order]
+
+
+def _row_lengths(meta: MatrixMetadataSet) -> np.ndarray:
+    return np.bincount(meta.elem_row, minlength=meta.n_rows)
+
+
+@register_operator
+class Compress(Operator):
+    """Ignore all zeros of the sparse matrix (source: cuSPARSE [45]).
+
+    Input triplets may still contain explicit zeros (Matrix Market files
+    often store them); COMPRESS drops them and marks the matrix ready for
+    the mapping stage.
+    """
+
+    name = "COMPRESS"
+    stage = Stage.CONVERTING
+    source = "cuSPARSE"
+    description = "Ignore all zeros of the sparse matrix"
+
+    def check(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        if meta.compressed:
+            raise OperatorError("COMPRESS: matrix already compressed")
+
+    def apply(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        keep = meta.elem_val != 0.0
+        if not keep.all():
+            meta.elem_row = meta.elem_row[keep]
+            meta.elem_col = meta.elem_col[keep]
+            meta.elem_val = meta.elem_val[keep]
+            meta.elem_pad = meta.elem_pad[keep]
+            meta.put("useful_nnz", int(meta.elem_row.size))
+        # Canonical row-major order for the mapping stage.
+        order = np.lexsort((meta.elem_col, meta.elem_row))
+        meta.elem_row = meta.elem_row[order]
+        meta.elem_col = meta.elem_col[order]
+        meta.elem_val = meta.elem_val[order]
+        meta.elem_pad = meta.elem_pad[order]
+        meta.compressed = True
+
+
+@register_operator
+class Sort(Operator):
+    """Sort rows in decreasing order of row length (source: SELL [36], [42]).
+
+    Renumbers rows; ``origin_rows`` keeps the way back, and becomes part of
+    the machine-designed format unless Model-Driven Compression can fit it.
+    """
+
+    name = "SORT"
+    stage = Stage.CONVERTING
+    source = "SELL, JAD"
+    description = "Sort rows in decreasing order of #non-zeros per row"
+
+    def check(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        pass  # valid before or after COMPRESS
+
+    def apply(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        lengths = _row_lengths(meta)
+        order = np.argsort(-lengths, kind="stable")  # old row ids by rank
+        new_of_old = np.empty(meta.n_rows, dtype=np.int64)
+        new_of_old[order] = np.arange(meta.n_rows)
+        _renumber_rows(meta, new_of_old)
+
+
+@register_operator
+class SortSub(Operator):
+    """Sort rows within fixed-size chunks (source: SELL-C-sigma [36], [43]).
+
+    The sigma-sorting compromise: local sorts keep rows near their original
+    position (better x locality) while still grouping similar lengths for
+    low padding.  ``chunk_rows`` is the sorting granularity parameter the
+    paper mentions as part of the operator's parameter space.
+    """
+
+    name = "SORT_SUB"
+    stage = Stage.CONVERTING
+    source = "SELL-C-sigma"
+    description = "Sort rows by length within chunks of chunk_rows"
+    params = (
+        ParamSpec(
+            "chunk_rows",
+            coarse=(128, 512, 2048),
+            fine=(32, 64, 128, 256, 512, 1024, 2048, 4096),
+            description="rows per independent sorting window",
+        ),
+    )
+
+    def check(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        pass
+
+    def apply(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        chunk = int(params["chunk_rows"])  # type: ignore[index]
+        if chunk <= 0:
+            raise OperatorError("SORT_SUB: chunk_rows must be positive")
+        lengths = _row_lengths(meta)
+        n = meta.n_rows
+        new_of_old = np.empty(n, dtype=np.int64)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            local = np.argsort(-lengths[start:stop], kind="stable") + start
+            new_of_old[local] = np.arange(start, stop)
+        _renumber_rows(meta, new_of_old)
+
+
+class _BranchingOperator(Operator):
+    """Base for operators that split the matrix into sub-matrices."""
+
+    branching = True
+
+    def apply(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        raise OperatorError(
+            f"{self.name} is a branching operator; the Designer must call "
+            "partition() and recurse"
+        )
+
+    def partition(
+        self, meta: MatrixMetadataSet, params: Mapping[str, object]
+    ) -> List[MatrixMetadataSet]:
+        raise NotImplementedError
+
+
+def _slice_rows(meta: MatrixMetadataSet, row_ids: np.ndarray) -> MatrixMetadataSet:
+    """Sub-metadata containing exactly ``row_ids`` (renumbered 0..k-1)."""
+    mask = np.isin(meta.elem_row, row_ids)
+    remap = -np.ones(meta.n_rows, dtype=np.int64)
+    remap[row_ids] = np.arange(row_ids.size)
+    child = meta.copy()
+    child.put("n_rows", int(row_ids.size))
+    child.elem_row = remap[meta.elem_row[mask]]
+    child.elem_col = meta.elem_col[mask]
+    child.elem_val = meta.elem_val[mask]
+    child.elem_pad = meta.elem_pad[mask]
+    child.origin_rows = meta.origin_rows[row_ids]
+    child.put("useful_nnz", int((~child.elem_pad).sum()))
+    order = np.argsort(child.elem_row, kind="stable")
+    child.elem_row = child.elem_row[order]
+    child.elem_col = child.elem_col[order]
+    child.elem_val = child.elem_val[order]
+    child.elem_pad = child.elem_pad[order]
+    return child
+
+
+@register_operator
+class RowDiv(_BranchingOperator):
+    """Divide the matrix into striped sub-matrices by rows ([40], [41]).
+
+    Two parameter-discretisation strategies (paper §VI-B's answer to the
+    ``10^5!`` array-type parameter): ``equal`` stripes, or
+    ``len_mutation`` — split where the (sorted) row length jumps by more
+    than ``mutation_factor``.
+    """
+
+    name = "ROW_DIV"
+    stage = Stage.CONVERTING
+    source = "ESB, scale-free SpMV"
+    description = "Divide a matrix into row stripes, branching the graph"
+    params = (
+        ParamSpec(
+            "strategy",
+            coarse=("equal", "len_mutation"),
+            description="how stripe boundaries are chosen",
+        ),
+        ParamSpec(
+            "parts",
+            coarse=(2, 4),
+            fine=(2, 3, 4, 6, 8),
+            description="stripe count for the 'equal' strategy",
+        ),
+        ParamSpec(
+            "mutation_factor",
+            coarse=(4.0, 16.0),
+            fine=(2.0, 4.0, 8.0, 16.0, 32.0),
+            description="row-length jump ratio that opens a new stripe",
+        ),
+    )
+
+    def check(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        if meta.n_rows < 2:
+            raise OperatorError("ROW_DIV: nothing to divide")
+
+    def partition(
+        self, meta: MatrixMetadataSet, params: Mapping[str, object]
+    ) -> List[MatrixMetadataSet]:
+        n = meta.n_rows
+        strategy = params["strategy"]
+        if strategy == "equal":
+            parts = min(int(params["parts"]), n)
+            bounds = np.linspace(0, n, parts + 1).astype(np.int64)
+        elif strategy == "len_mutation":
+            factor = float(params["mutation_factor"])
+            lengths = _row_lengths(meta).astype(np.float64)
+            prev = np.maximum(lengths[:-1], 1.0)
+            nxt = np.maximum(lengths[1:], 1.0)
+            ratio = np.maximum(nxt / prev, prev / nxt)
+            cuts = np.flatnonzero(ratio > factor) + 1
+            # Cap stripe count: merge nearby cuts (min stripe = 1/64 rows).
+            min_gap = max(1, n // 64)
+            kept: List[int] = []
+            for c in cuts:
+                if not kept or c - kept[-1] >= min_gap:
+                    kept.append(int(c))
+            bounds = np.array([0] + kept + [n], dtype=np.int64)
+        else:  # pragma: no cover - resolve_params guards values
+            raise OperatorError(f"ROW_DIV: unknown strategy {strategy!r}")
+        bounds = np.unique(bounds)
+        if bounds.size <= 2:
+            return [meta.copy()]
+        return [
+            _slice_rows(meta, np.arange(bounds[i], bounds[i + 1]))
+            for i in range(bounds.size - 1)
+        ]
+
+
+@register_operator
+class ColDiv(_BranchingOperator):
+    """Divide the matrix into striped sub-matrices by columns ([40], [41]).
+
+    Children keep the full row range; their partial results are summed into
+    ``y``, so every child's global reduction must tolerate concurrent
+    writers (the kernel builder accounts the extra traffic).
+    """
+
+    name = "COL_DIV"
+    stage = Stage.CONVERTING
+    source = "cache-blocked SpMV"
+    description = "Divide a matrix into column stripes, branching the graph"
+    params = (
+        ParamSpec(
+            "parts",
+            coarse=(2, 4),
+            fine=(2, 3, 4, 6, 8),
+            description="number of column stripes",
+        ),
+    )
+
+    def check(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        if meta.n_cols < 2:
+            raise OperatorError("COL_DIV: nothing to divide")
+
+    def partition(
+        self, meta: MatrixMetadataSet, params: Mapping[str, object]
+    ) -> List[MatrixMetadataSet]:
+        parts = min(int(params["parts"]), meta.n_cols)
+        bounds = np.linspace(0, meta.n_cols, parts + 1).astype(np.int64)
+        children: List[MatrixMetadataSet] = []
+        for i in range(parts):
+            mask = (meta.elem_col >= bounds[i]) & (meta.elem_col < bounds[i + 1])
+            if not mask.any():
+                continue
+            child = meta.copy()
+            child.elem_row = meta.elem_row[mask]
+            child.elem_col = meta.elem_col[mask]
+            child.elem_val = meta.elem_val[mask]
+            child.elem_pad = meta.elem_pad[mask]
+            child.put("useful_nnz", int((~child.elem_pad).sum()))
+            children.append(child)
+        return children if children else [meta.copy()]
+
+
+@register_operator
+class HybDecomp(_BranchingOperator):
+    """HYB-style row-width decomposition — the operator §VII-H names as
+    missing from the prototype (implemented here as the paper's announced
+    future work; the default search keeps it off to mirror the paper's
+    measurements, see :class:`repro.search.engine.SearchEngine`'s
+    ``enable_extensions``).
+
+    Splits element-wise: the first ``width`` non-zeros of every row form the
+    regular child (an ELL-friendly sub-matrix), the overflow forms the
+    irregular child.  Both children cover the same rows, so their kernels
+    must accumulate (GMEM_ATOM_RED); the kernel builder rejects conflicting
+    direct stores.
+    """
+
+    name = "HYB_DECOMP"
+    stage = Stage.CONVERTING
+    source = "HYB (paper §VII-H future work)"
+    description = "Split rows at a width: regular head part + overflow part"
+    params = (
+        ParamSpec(
+            "width_scale",
+            coarse=(1.0, 2.0),
+            fine=(0.5, 1.0, 1.5, 2.0, 3.0),
+            description="split width as a multiple of the average row length",
+        ),
+    )
+
+    def check(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        if meta.stored_elements == 0:
+            raise OperatorError("HYB_DECOMP: empty matrix")
+
+    def partition(
+        self, meta: MatrixMetadataSet, params: Mapping[str, object]
+    ) -> List[MatrixMetadataSet]:
+        lengths = _row_lengths(meta).astype(np.float64)
+        avg = max(lengths[lengths > 0].mean() if (lengths > 0).any() else 1.0, 1.0)
+        width = max(1, int(np.ceil(avg * float(params["width_scale"]))))
+        # Position of each element within its row (storage is row-major
+        # before the mapping stage).
+        order = np.argsort(meta.elem_row, kind="stable")
+        pos = np.empty(meta.stored_elements, dtype=np.int64)
+        # Vectorised position-in-row: cumulative count per row.
+        sorted_rows = meta.elem_row[order]
+        starts = np.r_[0, np.cumsum(np.bincount(sorted_rows, minlength=meta.n_rows))[:-1]]
+        pos[order] = np.arange(meta.stored_elements) - starts[sorted_rows]
+        head = pos < width
+        if head.all() or not head.any():
+            return [meta.copy()]
+        children: List[MatrixMetadataSet] = []
+        for mask in (head, ~head):
+            child = meta.copy()
+            child.elem_row = meta.elem_row[mask]
+            child.elem_col = meta.elem_col[mask]
+            child.elem_val = meta.elem_val[mask]
+            child.elem_pad = meta.elem_pad[mask]
+            child.put("useful_nnz", int((~child.elem_pad).sum()))
+            children.append(child)
+        return children
+
+
+@register_operator
+class Bin(_BranchingOperator):
+    """Put rows into bins by row length (source: ACSR [24], [44]).
+
+    Bin boundaries are powers of two of the average row length; each bin
+    becomes a sub-matrix handled by its own sub-graph — the ACSR/HYB-style
+    decomposition by row regularity.
+    """
+
+    name = "BIN"
+    stage = Stage.CONVERTING
+    source = "ACSR"
+    description = "Bin rows by #non-zeros per row, branching the graph"
+    params = (
+        ParamSpec(
+            "n_bins",
+            coarse=(2, 3),
+            fine=(2, 3, 4, 5),
+            description="number of row-length bins",
+        ),
+    )
+
+    def check(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        if meta.n_rows < 2:
+            raise OperatorError("BIN: nothing to bin")
+
+    def partition(
+        self, meta: MatrixMetadataSet, params: Mapping[str, object]
+    ) -> List[MatrixMetadataSet]:
+        n_bins = int(params["n_bins"])
+        lengths = _row_lengths(meta).astype(np.float64)
+        avg = max(lengths.mean(), 1.0)
+        # Boundaries: avg * 2^k, centred so the middle bin holds the average.
+        powers = [avg * (2.0 ** (k + 1)) for k in range(n_bins - 1)]
+        edges = np.array([0.0] + powers + [np.inf])
+        children: List[MatrixMetadataSet] = []
+        for i in range(n_bins):
+            row_ids = np.flatnonzero((lengths >= edges[i]) & (lengths < edges[i + 1]))
+            if row_ids.size == 0:
+                continue
+            children.append(_slice_rows(meta, row_ids))
+        return children if children else [meta.copy()]

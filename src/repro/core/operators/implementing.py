@@ -1,0 +1,204 @@
+"""Implementing-stage operators: runtime resources and reduction strategies.
+
+Table II (implementing): SET_RESOURCES plus eight reduction operators.
+Reduction operators append a ``(level, strategy)`` step to the metadata's
+reduction chain; the kernel builder turns the chain into the spliced
+fragments of Fig 6 and the executor charges each strategy its cost (warp
+shuffles, shared-memory traffic, atomics).
+
+Semantics validated at execution time (mirroring kernels that would compute
+wrong answers on silicon): *TOTAL* strategies require their scope to contain
+a single row; ``GMEM_DIRECT_STORE`` (implicit in human CSR kernels; exposed
+here so graphs can express it) requires every output row to have exactly one
+producer — otherwise ``GMEM_ATOM_RED`` is mandatory.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.metadata import MatrixMetadataSet
+from repro.core.operators.base import (
+    Operator,
+    OperatorError,
+    ParamSpec,
+    Stage,
+    register_operator,
+)
+
+__all__ = [
+    "SetResources",
+    "GmemAtomRed",
+    "GmemDirectStore",
+    "ShmemOffsetRed",
+    "ShmemTotalRed",
+    "WarpTotalRed",
+    "WarpBitmapRed",
+    "WarpSegRed",
+    "ThreadTotalRed",
+    "ThreadBitmapRed",
+]
+
+_LEVEL_ORDER = {"thread": 0, "warp": 1, "block": 2, "global": 3}
+
+
+@register_operator
+class SetResources(Operator):
+    """Set runtime configuration: threads per block and, for unmapped
+    (COO-style) kernels, the per-thread work grain."""
+
+    name = "SET_RESOURCES"
+    stage = Stage.IMPLEMENTING
+    source = "(runtime)"
+    description = "Set runtime configurations"
+    params = (
+        ParamSpec(
+            "threads_per_block",
+            coarse=(128, 256, 512),
+            fine=(64, 128, 256, 512, 1024),
+        ),
+        ParamSpec(
+            "work_per_thread",
+            coarse=(1, 4),
+            fine=(1, 2, 4, 8, 16),
+            description="elements per thread when no mapping level exists",
+        ),
+    )
+
+    def apply(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        tpb = int(params["threads_per_block"])  # type: ignore[index]
+        if tpb % 32 != 0:
+            raise OperatorError("SET_RESOURCES: threads_per_block must be a warp multiple")
+        meta.threads_per_block = tpb
+        wpt = int(params["work_per_thread"])  # type: ignore[index]
+        if wpt <= 0:
+            raise OperatorError("SET_RESOURCES: work_per_thread must be positive")
+        if meta.finest_level() is None:
+            n = max(1, meta.stored_elements)
+            meta.grid_threads = (n + wpt - 1) // wpt
+
+
+class _ReductionOperator(Operator):
+    stage = Stage.IMPLEMENTING
+    level = ""
+    strategy = ""
+
+    def check(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        super().check(meta, params)
+        steps = meta.reduction_steps
+        if steps:
+            prev_level = steps[-1][0]
+            if _LEVEL_ORDER[self.level] < _LEVEL_ORDER[prev_level]:
+                raise OperatorError(
+                    f"{self.name}: reduction levels must be non-decreasing "
+                    f"({prev_level} already applied)"
+                )
+            if _LEVEL_ORDER[self.level] == _LEVEL_ORDER[prev_level]:
+                raise OperatorError(
+                    f"{self.name}: a {self.level}-level reduction already exists"
+                )
+            if prev_level == "global":
+                raise OperatorError(f"{self.name}: chain already ended in global memory")
+
+    def apply(self, meta: MatrixMetadataSet, params: Mapping[str, object]) -> None:
+        meta.reduction_steps.append((self.level, self.strategy))
+
+
+@register_operator
+class GmemAtomRed(_ReductionOperator):
+    """Atomically add intermediate results to y in global memory ([35])."""
+
+    name = "GMEM_ATOM_RED"
+    level = "global"
+    strategy = "GMEM_ATOM_RED"
+    source = "row-grouped CSR, COO kernels"
+    description = "Atomic adds of partial results into global memory"
+
+
+@register_operator
+class GmemDirectStore(_ReductionOperator):
+    """Plain stores to y — valid only when each row has one producer."""
+
+    name = "GMEM_DIRECT_STORE"
+    level = "global"
+    strategy = "GMEM_DIRECT_STORE"
+    source = "CSR-Scalar and every one-writer-per-row kernel"
+    description = "Direct global-memory stores of final row results"
+
+
+@register_operator
+class ShmemOffsetRed(_ReductionOperator):
+    """Row-offset-guided reduction in shared memory ([22], [27], [34]) —
+    the CSR-Adaptive / CSR-Stream thread-block reduction."""
+
+    name = "SHMEM_OFFSET_RED"
+    level = "block"
+    strategy = "SHMEM_OFFSET_RED"
+    source = "CSR-Adaptive"
+    description = "Reduce multi-row partials in shared memory via row offsets"
+
+
+@register_operator
+class ShmemTotalRed(_ReductionOperator):
+    """Tree-reduce a whole thread block into one row's result ([22], [24])."""
+
+    name = "SHMEM_TOTAL_RED"
+    level = "block"
+    strategy = "SHMEM_TOTAL_RED"
+    source = "CSR-VectorL, ACSR long-row bins"
+    description = "Reduce all block partials into a single row result"
+
+
+@register_operator
+class WarpTotalRed(_ReductionOperator):
+    """Warp-shuffle reduction of one row per warp ([48], [49])."""
+
+    name = "WARP_TOTAL_RED"
+    level = "warp"
+    strategy = "WARP_TOTAL_RED"
+    source = "CSR-Vector, LightSpMV"
+    description = "Shuffle-reduce all warp partials into one row"
+
+
+@register_operator
+class WarpBitmapRed(_ReductionOperator):
+    """Bitmap-guided warp reduction for mixed short/long rows ([47])."""
+
+    name = "WARP_BITMAP_RED"
+    level = "warp"
+    strategy = "WARP_BITMAP_RED"
+    source = "AdELL"
+    description = "Reduce warp partials by row-boundary bitmap"
+
+
+@register_operator
+class WarpSegRed(_ReductionOperator):
+    """Segmented-sum warp reduction ([18], segment sum [52])."""
+
+    name = "WARP_SEG_RED"
+    level = "warp"
+    strategy = "WARP_SEG_RED"
+    source = "CSR5"
+    description = "Reduce warp partials by segmented sum"
+
+
+@register_operator
+class ThreadTotalRed(_ReductionOperator):
+    """Serial register reduction of one row per thread ([24], [47], [50])."""
+
+    name = "THREAD_TOTAL_RED"
+    level = "thread"
+    strategy = "THREAD_TOTAL_RED"
+    source = "CSR-Scalar, SELL-P"
+    description = "Reduce each thread's elements into one register result"
+
+
+@register_operator
+class ThreadBitmapRed(_ReductionOperator):
+    """Serial register reduction across row boundaries via bitmap ([18], [25])."""
+
+    name = "THREAD_BITMAP_RED"
+    level = "thread"
+    strategy = "THREAD_BITMAP_RED"
+    source = "CSR5, yaSpMV"
+    description = "Serially reduce per-thread elements, bitmap-marking rows"

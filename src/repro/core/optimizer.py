@@ -1,0 +1,202 @@
+"""Model-Driven Format Compression (paper §V-D, derived from [57]).
+
+Replaces format index arrays by closed-form models — ``row_offset = 64*bid``
+instead of ``row_offset = reduce_row_offsets[bid]`` — eliminating their
+global-memory traffic.  Three hypothesis classes are fitted, in order of
+preference:
+
+* **linear**       ``a[i] = c0 + c1 * i``
+* **step**         ``a[i] = c0 + c1 * (i // period)``
+* **periodic linear** ``a[i] = c0 + c1 * (i % period) + c2 * (i // period)``
+
+Unlike ordinary regression, *any* model error would corrupt the SpMV
+result, so fits are exact by construction; a small number of mismatching
+positions is tolerated by emitting explicit ``if`` exceptions (paper: "a
+small number of errors can be tolerated by adding if statements").  Users
+can extend the hypothesis space via :meth:`ModelDrivenCompressor.register`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CompressionModel", "ModelDrivenCompressor"]
+
+#: Bytes to store one exception (index + value) in the generated kernel.
+_EXCEPTION_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """A fitted closed-form replacement for a format array."""
+
+    kind: str
+    coeffs: Tuple[float, ...]
+    period: int
+    exceptions: Tuple[Tuple[int, int], ...]
+    length: int
+
+    def predict(self, idx: np.ndarray) -> np.ndarray:
+        """Evaluate the model (exceptions applied) at integer indices."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if self.kind == "linear":
+            c0, c1 = self.coeffs
+            out = c0 + c1 * idx
+        elif self.kind == "step":
+            c0, c1 = self.coeffs
+            out = c0 + c1 * (idx // self.period)
+        elif self.kind == "periodic_linear":
+            c0, c1, c2 = self.coeffs
+            out = c0 + c1 * (idx % self.period) + c2 * (idx // self.period)
+        else:  # pragma: no cover - registry guards kinds
+            raise ValueError(f"unknown model kind {self.kind!r}")
+        out = np.rint(out).astype(np.int64)
+        for pos, val in self.exceptions:
+            mask = idx == pos
+            if mask.any():
+                out[mask] = val
+        return out
+
+    @property
+    def stored_bytes(self) -> int:
+        """Residual memory footprint: only the exception table remains."""
+        return len(self.exceptions) * _EXCEPTION_BYTES
+
+    def expression(self, var: str = "i") -> str:
+        """C-like expression used by the code generator."""
+        if self.kind == "linear":
+            c0, c1 = self.coeffs
+            return f"{_fmt(c0)} + {_fmt(c1)} * {var}"
+        if self.kind == "step":
+            c0, c1 = self.coeffs
+            return f"{_fmt(c0)} + {_fmt(c1)} * ({var} / {self.period})"
+        c0, c1, c2 = self.coeffs
+        return (
+            f"{_fmt(c0)} + {_fmt(c1)} * ({var} % {self.period})"
+            f" + {_fmt(c2)} * ({var} / {self.period})"
+        )
+
+
+def _fmt(coeff: float) -> str:
+    return str(int(coeff)) if float(coeff).is_integer() else f"{coeff:g}"
+
+
+def _exceptions_from(
+    arr: np.ndarray, pred: np.ndarray, budget: int
+) -> Optional[Tuple[Tuple[int, int], ...]]:
+    bad = np.flatnonzero(arr != pred)
+    if bad.size > budget:
+        return None
+    return tuple((int(i), int(arr[i])) for i in bad)
+
+
+FitFunc = Callable[[np.ndarray, int], Optional[CompressionModel]]
+
+
+def _fit_linear(arr: np.ndarray, budget: int) -> Optional[CompressionModel]:
+    n = arr.size
+    if n < 2:
+        return CompressionModel("linear", (float(arr[0]) if n else 0.0, 0.0), 1, (), n)
+    diffs = np.diff(arr)
+    c1 = float(np.median(diffs))
+    c0 = float(arr[0])
+    pred = np.rint(c0 + c1 * np.arange(n)).astype(np.int64)
+    exc = _exceptions_from(arr, pred, budget)
+    if exc is None:
+        return None
+    return CompressionModel("linear", (c0, c1), 1, exc, n)
+
+
+def _candidate_periods(arr: np.ndarray) -> List[int]:
+    """Plausible periods from the first change point of the diff sequence."""
+    diffs = np.diff(arr)
+    if diffs.size == 0:
+        return []
+    changes = np.flatnonzero(diffs != diffs[0])
+    cands: List[int] = []
+    if changes.size:
+        p = int(changes[0]) + 1
+        if 1 < p <= arr.size // 2:
+            cands.append(p)
+    # Also try the gap between the first two change points (robust when the
+    # head of the array is irregular).
+    if changes.size >= 2:
+        gap = int(changes[1] - changes[0])
+        if 1 < gap <= arr.size // 2 and gap not in cands:
+            cands.append(gap)
+    return cands
+
+
+def _fit_step(arr: np.ndarray, budget: int) -> Optional[CompressionModel]:
+    n = arr.size
+    for period in _candidate_periods(arr):
+        groups = np.arange(n) // period
+        c0 = float(arr[0])
+        # Slope from the first full step.
+        if groups.max() < 1:
+            continue
+        c1 = float(arr[period] - arr[0])
+        pred = np.rint(c0 + c1 * groups).astype(np.int64)
+        exc = _exceptions_from(arr, pred, budget)
+        if exc is not None:
+            return CompressionModel("step", (c0, c1), period, exc, n)
+    return None
+
+
+def _fit_periodic_linear(arr: np.ndarray, budget: int) -> Optional[CompressionModel]:
+    n = arr.size
+    for period in _candidate_periods(arr):
+        if n < 2 * period:
+            continue
+        c0 = float(arr[0])
+        c1 = float(arr[1] - arr[0]) if period > 1 else 0.0
+        c2 = float(arr[period] - arr[0])
+        idx = np.arange(n)
+        pred = np.rint(c0 + c1 * (idx % period) + c2 * (idx // period)).astype(np.int64)
+        exc = _exceptions_from(arr, pred, budget)
+        if exc is not None:
+            return CompressionModel("periodic_linear", (c0, c1, c2), period, exc, n)
+    return None
+
+
+class ModelDrivenCompressor:
+    """Tries each hypothesis class in order; returns the first exact fit.
+
+    ``max_exception_fraction`` bounds the tolerated ``if`` statements; the
+    default allows max(2, 1 %) mismatches — beyond that the array stays in
+    memory.
+    """
+
+    def __init__(self, max_exception_fraction: float = 0.01) -> None:
+        self.max_exception_fraction = max_exception_fraction
+        self._fitters: List[Tuple[str, FitFunc]] = [
+            ("linear", _fit_linear),
+            ("step", _fit_step),
+            ("periodic_linear", _fit_periodic_linear),
+        ]
+
+    def register(self, name: str, fitter: FitFunc) -> None:
+        """Add a user hypothesis function (paper: extensible model set)."""
+        self._fitters.append((name, fitter))
+
+    def budget(self, n: int) -> int:
+        return max(2, int(self.max_exception_fraction * n))
+
+    def fit(self, arr: np.ndarray) -> Optional[CompressionModel]:
+        """Fit an integer array; None when no hypothesis matches."""
+        arr = np.asarray(arr)
+        if arr.size == 0:
+            return CompressionModel("linear", (0.0, 0.0), 1, (), 0)
+        if not np.issubdtype(arr.dtype, np.integer):
+            return None
+        budget = self.budget(arr.size)
+        for _, fitter in self._fitters:
+            model = fitter(arr.astype(np.int64), budget)
+            if model is not None:
+                # Exactness guarantee: verify round-trip before accepting.
+                if np.array_equal(model.predict(np.arange(arr.size)), arr):
+                    return model
+        return None

@@ -1,0 +1,111 @@
+"""Artifact export: persist a generated SpMV program to disk.
+
+The paper positions AlphaSparse as "an extremely optimized library
+generator" whose output "can be directly called in real-world applications"
+(§III, artifact description).  This module writes that artifact: a
+directory containing the machine-designed format's arrays (``.npy``), the
+generated kernel source, the winning Operator Graph (JSON, reloadable), and
+a manifest — everything a downstream build would need.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.graph import OperatorGraph
+from repro.core.kernel.program import GeneratedProgram
+
+__all__ = ["export_program", "load_exported_graph", "read_manifest"]
+
+_MANIFEST = "manifest.json"
+_GRAPH = "operator_graph.json"
+
+
+def export_program(
+    program: GeneratedProgram,
+    directory: str | os.PathLike,
+    graph: Optional[OperatorGraph] = None,
+) -> str:
+    """Write a program's artifact directory; returns the manifest path.
+
+    Layout::
+
+        <dir>/manifest.json
+        <dir>/operator_graph.json          (when the graph is supplied)
+        <dir>/kernel_<label>.cu            (CUDA-like source per kernel)
+        <dir>/<label>/<array>.npy          (format arrays per kernel)
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    manifest: Dict[str, object] = {
+        "matrix_name": program.matrix_name,
+        "n_rows": program.n_rows,
+        "n_cols": program.n_cols,
+        "useful_nnz": program.useful_nnz,
+        "format_bytes": program.format_bytes,
+        "kernels": [],
+    }
+    for unit in program.kernels:
+        label = unit.label.replace("/", "_") or "root"
+        kernel_dir = os.path.join(directory, label)
+        os.makedirs(kernel_dir, exist_ok=True)
+        array_entries = []
+        for arr in unit.format.arrays:
+            entry: Dict[str, object] = {
+                "name": arr.name,
+                "stored_bytes": arr.stored_bytes,
+                "raw_bytes": arr.raw_bytes,
+            }
+            if arr.model is not None:
+                entry["model"] = {
+                    "kind": arr.model.kind,
+                    "coeffs": list(arr.model.coeffs),
+                    "period": arr.model.period,
+                    "exceptions": [list(e) for e in arr.model.exceptions],
+                    "length": arr.model.length,
+                }
+            else:
+                path = os.path.join(kernel_dir, f"{arr.name}.npy")
+                np.save(path, arr.data)
+                entry["file"] = os.path.relpath(path, directory)
+            array_entries.append(entry)
+        source_path = os.path.join(directory, f"kernel_{label}.cu")
+        with open(source_path, "w") as handle:
+            handle.write(unit.source + "\n")
+        manifest["kernels"].append(
+            {
+                "label": label,
+                "source": os.path.relpath(source_path, directory),
+                "operators": unit.applied_operators,
+                "launch": {
+                    "blocks": unit.plan.n_blocks,
+                    "threads_per_block": unit.plan.threads_per_block,
+                    "interleaved": unit.plan.interleaved,
+                },
+                "arrays": array_entries,
+            }
+        )
+    if graph is not None:
+        with open(os.path.join(directory, _GRAPH), "w") as handle:
+            json.dump(graph.to_dict(), handle, indent=2)
+        manifest["operator_graph"] = _GRAPH
+    manifest_path = os.path.join(directory, _MANIFEST)
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    return manifest_path
+
+
+def read_manifest(directory: str | os.PathLike) -> Dict[str, object]:
+    """Load an exported artifact's manifest."""
+    with open(os.path.join(os.fspath(directory), _MANIFEST)) as handle:
+        return json.load(handle)
+
+
+def load_exported_graph(directory: str | os.PathLike) -> OperatorGraph:
+    """Reload the Operator Graph saved next to an exported program."""
+    with open(os.path.join(os.fspath(directory), _GRAPH)) as handle:
+        return OperatorGraph.from_dict(json.load(handle))

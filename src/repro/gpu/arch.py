@@ -1,0 +1,108 @@
+"""GPU architecture descriptions.
+
+The presets carry the published specifications the paper reports (§VII-A):
+
+* **A100** — Ampere, 6912 CUDA cores (108 SMs), 40 GB HBM2 at 1.5 TB/s,
+  19.49 TFLOPS single precision, 40 MB L2.
+* **RTX 2080** — Turing, 2944 CUDA cores (46 SMs), 8 GB GDDR6 at 448 GB/s,
+  10.07 TFLOPS single precision, 4 MB L2.
+
+Secondary constants (atomic throughput, shuffle latency, launch overhead)
+use vendor microbenchmark figures commonly cited in the SpMV literature;
+only their *relative* magnitudes matter for ranking candidate kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GPUSpec", "A100", "RTX2080", "gpu_by_name"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a GPU used by the cost model."""
+
+    name: str
+    num_sms: int
+    cuda_cores: int
+    warp_size: int
+    max_threads_per_block: int
+    shared_mem_per_block: int          # bytes
+    l2_cache_bytes: int
+    dram_bandwidth_gbps: float         # GB/s
+    l2_bandwidth_gbps: float           # GB/s (bandwidth when hitting in L2)
+    peak_gflops_sp: float
+    #: double-precision peak; the paper evaluates fp32 only, fp64 is a
+    #: library extension (A100 1:2 ratio, consumer Turing 1:32).
+    peak_gflops_dp: float
+    # Secondary throughput/latency constants (seconds or ops/s).
+    atomic_gops: float                 # global atomicAdd throughput, Gops/s
+    atomic_conflict_penalty: float     # extra cost factor per conflicting atomic
+    shmem_gops: float                  # shared-memory reduction ops, Gops/s
+    shuffle_gops: float                # warp-shuffle ops, Gops/s
+    kernel_launch_overhead_s: float
+    #: threads needed in flight to saturate DRAM bandwidth
+    saturating_threads: int
+
+    @property
+    def max_warps(self) -> int:
+        return self.cuda_cores // self.warp_size
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.num_sms <= 0:
+            raise ValueError("warp_size and num_sms must be positive")
+        if self.dram_bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+A100 = GPUSpec(
+    name="A100",
+    num_sms=108,
+    cuda_cores=6912,
+    warp_size=32,
+    max_threads_per_block=1024,
+    shared_mem_per_block=164 * 1024,
+    l2_cache_bytes=40 * 1024 * 1024,
+    dram_bandwidth_gbps=1555.0,
+    l2_bandwidth_gbps=4500.0,
+    peak_gflops_sp=19490.0,
+    peak_gflops_dp=9700.0,
+    atomic_gops=16.0,
+    atomic_conflict_penalty=4.0,
+    shmem_gops=600.0,
+    shuffle_gops=1200.0,
+    kernel_launch_overhead_s=2.0e-7,
+    saturating_threads=16_000,
+)
+
+RTX2080 = GPUSpec(
+    name="RTX2080",
+    num_sms=46,
+    cuda_cores=2944,
+    warp_size=32,
+    max_threads_per_block=1024,
+    shared_mem_per_block=64 * 1024,
+    l2_cache_bytes=4 * 1024 * 1024,
+    dram_bandwidth_gbps=448.0,
+    l2_bandwidth_gbps=1800.0,
+    peak_gflops_sp=10070.0,
+    peak_gflops_dp=315.0,
+    atomic_gops=8.0,
+    atomic_conflict_penalty=4.0,
+    shmem_gops=300.0,
+    shuffle_gops=600.0,
+    kernel_launch_overhead_s=2.0e-7,
+    saturating_threads=8_000,
+)
+
+_BY_NAME = {"A100": A100, "RTX2080": RTX2080, "RTX 2080": RTX2080}
+
+
+def gpu_by_name(name: str) -> GPUSpec:
+    """Look up a preset by name (case-insensitive, space-insensitive)."""
+    key = name.replace(" ", "").upper()
+    for candidate, spec in _BY_NAME.items():
+        if candidate.replace(" ", "").upper() == key:
+            return spec
+    raise KeyError(f"unknown GPU {name!r}; presets: A100, RTX2080")

@@ -1,0 +1,230 @@
+"""Analytic kernel-time model.
+
+Combines the quantities extracted from an :class:`~repro.gpu.executor.ExecutionPlan`
+into a predicted kernel time.  The model is a max-of-bottlenecks roofline
+with additive reduction/atomic terms:
+
+``time = launch + max(T_mem, T_comp) * imbalance / occupancy + T_red + T_atomic``
+
+where
+
+* ``T_mem``  — effective bytes / (DRAM bandwidth × coalescing × L2 boost),
+* ``T_comp`` — fused multiply-add work (including padded zeros) / peak FLOPS,
+* ``imbalance`` — warp-divergence and inter-block wave imbalance factors,
+* ``occupancy`` — bandwidth ramp for kernels too small to saturate the card,
+* ``T_red``  — shared-memory / shuffle / serial reduction operations,
+* ``T_atomic`` — global atomics with a contention penalty.
+
+All terms are computed from *summary statistics*, never per-element Python
+loops, so a full search stays fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.gpu.arch import GPUSpec
+from repro.gpu.memory import l2_bandwidth_boost
+
+__all__ = ["KernelCostInputs", "CostBreakdown", "CostModel"]
+
+_GIGA = 1.0e9
+
+
+@dataclass(frozen=True)
+class KernelCostInputs:
+    """Everything the cost model needs, gathered by the executor.
+
+    Attributes
+    ----------
+    useful_flops:
+        ``2 * nnz`` of the original matrix — the numerator of reported GFLOPS.
+    stored_elements:
+        Stored non-zeros *including padding*; drives wasted compute/bytes.
+    format_bytes:
+        Total bytes of every format array the kernel streams (values,
+        column indices, offsets, bitmap words, ...), after Model-Driven
+        Format Compression removed any model-fitted arrays.
+    gather_bytes:
+        Estimated DRAM traffic of the ``x`` gather.
+    y_bytes:
+        Result-vector traffic (stores, plus read-modify-write for atomics).
+    coalescing:
+        Useful fraction of each format-stream transaction, in (0, 1].
+    n_threads / n_warps / n_blocks / threads_per_block:
+        Launch geometry.
+    warp_lockstep_elements:
+        Sum over warps of ``warp_size * max(elements per thread in warp)`` —
+        the element-steps the SIMT machine actually executes; the excess over
+        ``stored_elements`` is divergence waste.
+    max_block_elements / mean_block_elements:
+        Inter-block load-balance indicators.
+    atomic_ops:
+        Global atomicAdd count.
+    max_atomics_per_row:
+        Peak number of atomics landing on one output row (contention).
+    shmem_ops / shuffle_ops / serial_red_ops:
+        Reduction-instruction counts per strategy class.
+    sync_barriers:
+        `__syncthreads`-equivalent barriers per block (shared-mem strategies).
+    """
+
+    useful_flops: float
+    stored_elements: int
+    format_bytes: float
+    gather_bytes: float
+    y_bytes: float
+    coalescing: float
+    n_threads: int
+    n_warps: int
+    n_blocks: int
+    threads_per_block: int
+    warp_lockstep_elements: float
+    max_block_elements: float
+    mean_block_elements: float
+    atomic_ops: int
+    max_atomics_per_row: int
+    shmem_ops: int
+    shuffle_ops: int
+    serial_red_ops: int
+    sync_barriers: int
+    #: bytes per matrix value (4 = fp32 as in the paper, 8 = fp64)
+    value_bytes: int = 4
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Predicted time decomposition; ``total_s`` is authoritative."""
+
+    total_s: float
+    memory_s: float
+    compute_s: float
+    reduction_s: float
+    atomic_s: float
+    launch_s: float
+    occupancy: float
+    divergence_factor: float
+    block_imbalance: float
+    effective_bandwidth_gbps: float
+    gflops: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_s": self.total_s,
+            "memory_s": self.memory_s,
+            "compute_s": self.compute_s,
+            "reduction_s": self.reduction_s,
+            "atomic_s": self.atomic_s,
+            "launch_s": self.launch_s,
+            "occupancy": self.occupancy,
+            "divergence_factor": self.divergence_factor,
+            "block_imbalance": self.block_imbalance,
+            "effective_bandwidth_gbps": self.effective_bandwidth_gbps,
+            "gflops": self.gflops,
+        }
+
+
+class CostModel:
+    """Maps :class:`KernelCostInputs` to a :class:`CostBreakdown` for a GPU."""
+
+    def __init__(self, gpu: GPUSpec) -> None:
+        self.gpu = gpu
+
+    # ------------------------------------------------------------------
+    def occupancy(self, inputs: KernelCostInputs) -> float:
+        """Fraction of peak bandwidth reachable with this much parallelism.
+
+        Memory latency hiding needs tens of thousands of resident threads;
+        below that, effective bandwidth ramps roughly linearly (sub-linearly
+        near saturation).  Kernels must also put work on every SM.
+        """
+        gpu = self.gpu
+        thread_ramp = min(1.0, inputs.n_threads / gpu.saturating_threads)
+        sm_ramp = min(1.0, inputs.n_blocks / gpu.num_sms)
+        # Square-root softening: half the saturating threads reach ~70 % BW,
+        # matching published achievable-bandwidth curves.
+        ramp = max(thread_ramp, 1e-6) ** 0.5 * max(sm_ramp, 1e-6) ** 0.25
+        return float(min(1.0, max(ramp, 1e-4)))
+
+    def divergence_factor(self, inputs: KernelCostInputs) -> float:
+        """Ratio of SIMT element-steps executed to useful stored elements."""
+        if inputs.stored_elements == 0:
+            return 1.0
+        return float(
+            max(1.0, inputs.warp_lockstep_elements / inputs.stored_elements)
+        )
+
+    def block_imbalance(self, inputs: KernelCostInputs) -> float:
+        """Wave-level imbalance: with few blocks the slowest block gates the
+        kernel; with many blocks per SM the scheduler evens the load out."""
+        if inputs.mean_block_elements <= 0 or inputs.n_blocks == 0:
+            return 1.0
+        raw = inputs.max_block_elements / inputs.mean_block_elements
+        waves = max(1.0, inputs.n_blocks / self.gpu.num_sms)
+        # Imbalance amortises as the number of waves grows.
+        return float(max(1.0, 1.0 + (raw - 1.0) / waves))
+
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: KernelCostInputs) -> CostBreakdown:
+        gpu = self.gpu
+        occupancy = self.occupancy(inputs)
+        divergence = self.divergence_factor(inputs)
+        imbalance = self.block_imbalance(inputs)
+
+        streamed = inputs.format_bytes + inputs.gather_bytes + inputs.y_bytes
+        boost = l2_bandwidth_boost(streamed, gpu)
+        bandwidth = gpu.dram_bandwidth_gbps * _GIGA * boost * occupancy
+        # Idle warp lanes waste transaction slots exactly like padding wastes
+        # stored bytes, so the format stream is charged at the SIMT lockstep
+        # rate (divergence ×) on top of the address-spread (coalescing ÷).
+        effective_bytes = (
+            inputs.format_bytes * divergence / max(inputs.coalescing, 1e-3)
+            + inputs.gather_bytes
+            + inputs.y_bytes
+        )
+        memory_s = effective_bytes / bandwidth
+
+        # Compute: 2 flops per stored element (padding wastes real cycles),
+        # executed in warp lockstep => scale by divergence.  fp64 runs at
+        # the double-precision roof.
+        peak = gpu.peak_gflops_dp if inputs.value_bytes >= 8 else gpu.peak_gflops_sp
+        compute_elems = inputs.stored_elements * divergence
+        compute_s = (2.0 * compute_elems) / (peak * _GIGA * occupancy)
+
+        # Reduction instructions execute concurrently across SMs: the
+        # *_gops throughputs are whole-GPU figures, scaled by how many SMs
+        # actually hold blocks.  Barriers serialise only within a block, so
+        # their latency is paid once per wave, not once per block.
+        sm_par = max(1e-3, min(1.0, inputs.n_blocks / gpu.num_sms))
+        reduction_s = (
+            inputs.shmem_ops / (gpu.shmem_gops * _GIGA)
+            + inputs.shuffle_ops / (gpu.shuffle_gops * _GIGA)
+            + inputs.serial_red_ops / (gpu.peak_gflops_sp * _GIGA * 0.25)
+        ) / sm_par
+        reduction_s += (
+            inputs.sync_barriers * 2.0e-8 / max(1, min(inputs.n_blocks, gpu.num_sms))
+        )
+
+        contention = 1.0
+        if inputs.atomic_ops > 0 and inputs.max_atomics_per_row > 1:
+            share = inputs.max_atomics_per_row / inputs.atomic_ops
+            contention = 1.0 + gpu.atomic_conflict_penalty * min(1.0, share * 8.0)
+        atomic_s = inputs.atomic_ops * contention / (gpu.atomic_gops * _GIGA)
+
+        core_s = max(memory_s, compute_s) * imbalance
+        total_s = gpu.kernel_launch_overhead_s + core_s + reduction_s + atomic_s
+        gflops = inputs.useful_flops / total_s / _GIGA if total_s > 0 else 0.0
+        return CostBreakdown(
+            total_s=float(total_s),
+            memory_s=float(memory_s),
+            compute_s=float(compute_s),
+            reduction_s=float(reduction_s),
+            atomic_s=float(atomic_s),
+            launch_s=gpu.kernel_launch_overhead_s,
+            occupancy=occupancy,
+            divergence_factor=divergence,
+            block_imbalance=imbalance,
+            effective_bandwidth_gbps=bandwidth / _GIGA,
+            gflops=float(gflops),
+        )

@@ -1,0 +1,409 @@
+"""Functional executor + statistics extraction for generated kernels.
+
+A generated SpMV kernel is described by an :class:`ExecutionPlan` — the
+neutral contract between the kernel builder (:mod:`repro.core.kernel`) and
+the simulated GPU.  The plan says, for every *stored* element (original
+non-zeros plus padding), which output row it contributes to and which CUDA
+thread processes it, plus the chain of reduction strategies that funnels
+per-thread partial results into the ``y`` vector.
+
+:func:`execute` does two things:
+
+1. **Functional execution** — computes ``y`` exactly (vectorised NumPy), so
+   every machine-designed kernel is verified against ``A @ x``.
+2. **Performance projection** — derives :class:`~repro.gpu.cost.KernelCostInputs`
+   from the plan (divergence, imbalance, partial-result flow through the
+   reduction levels, atomics) and evaluates the analytic cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpu.arch import GPUSpec
+from repro.gpu.cost import CostBreakdown, CostModel, KernelCostInputs
+from repro.gpu.memory import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    coalescing_efficiency,
+    gather_traffic_bytes,
+    unique_column_count,
+)
+
+__all__ = [
+    "ReductionStep",
+    "ExecutionPlan",
+    "ExecutionResult",
+    "PlanValidationError",
+    "execute",
+    "plan_cost_inputs",
+    "validate_plan",
+]
+
+#: Reduction levels in pipeline order.
+LEVELS = ("thread", "warp", "block", "global")
+
+#: Strategies per level understood by the executor (matches Table II).
+LEVEL_STRATEGIES = {
+    "thread": {"THREAD_TOTAL_RED", "THREAD_BITMAP_RED"},
+    "warp": {"WARP_TOTAL_RED", "WARP_BITMAP_RED", "WARP_SEG_RED"},
+    "block": {"SHMEM_TOTAL_RED", "SHMEM_OFFSET_RED"},
+    "global": {"GMEM_ATOM_RED", "GMEM_DIRECT_STORE"},
+}
+
+
+class PlanValidationError(ValueError):
+    """A reduction chain is semantically invalid for this work assignment."""
+
+
+@dataclass(frozen=True)
+class ReductionStep:
+    """One stage of the reduction pipeline (level + strategy name)."""
+
+    level: str
+    strategy: str
+
+    def __post_init__(self) -> None:
+        if self.level not in LEVEL_STRATEGIES:
+            raise ValueError(f"unknown reduction level {self.level!r}")
+        if self.strategy not in LEVEL_STRATEGIES[self.level]:
+            raise ValueError(
+                f"strategy {self.strategy!r} not valid at level {self.level!r}"
+            )
+
+
+@dataclass
+class ExecutionPlan:
+    """Work assignment + reduction chain of one generated SpMV kernel.
+
+    Arrays are aligned with *stored order* (the machine-designed format's
+    element order, padding included).  Padding elements carry
+    ``out_rows == -1`` and ``col_indices == -1``.
+    """
+
+    n_rows: int
+    n_cols: int
+    useful_nnz: int
+    values: np.ndarray
+    col_indices: np.ndarray
+    out_rows: np.ndarray
+    thread_of_nz: np.ndarray
+    n_threads: int
+    threads_per_block: int
+    reduction_steps: Tuple[ReductionStep, ...]
+    interleaved: bool = False
+    extra_format_bytes: float = 0.0
+    #: Mean contiguous elements a thread consumes before its neighbour's
+    #: data begins: chunk size for chunk-per-thread mappings, 1.0 for
+    #: round-robin / grid-stride distributions.  None = derive from the mean
+    #: per-thread element count (chunked assumption).
+    storage_run_length: Optional[float] = None
+    #: bytes per matrix/x/y value (4 = fp32, 8 = fp64)
+    value_bytes: int = 4
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        n = self.values.shape[0]
+        for arr_name in ("col_indices", "out_rows", "thread_of_nz"):
+            arr = getattr(self, arr_name)
+            if arr.shape != (n,):
+                raise ValueError(f"{arr_name} must match values length {n}")
+        if self.threads_per_block <= 0:
+            raise ValueError("threads_per_block must be positive")
+        if self.n_threads <= 0:
+            raise ValueError("n_threads must be positive")
+        if not self.reduction_steps:
+            raise ValueError("plan needs at least a global reduction step")
+        if self.reduction_steps[-1].level != "global":
+            raise ValueError("last reduction step must be global")
+
+    # Convenience geometry -------------------------------------------------
+    @property
+    def warp_size(self) -> int:
+        return 32
+
+    @property
+    def n_warps(self) -> int:
+        return (self.n_threads + self.warp_size - 1) // self.warp_size
+
+    @property
+    def n_blocks(self) -> int:
+        return (self.n_threads + self.threads_per_block - 1) // self.threads_per_block
+
+    @property
+    def stored_elements(self) -> int:
+        return int(self.values.shape[0])
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Output of one simulated kernel run."""
+
+    y: np.ndarray
+    cost: CostBreakdown
+    inputs: KernelCostInputs
+
+    @property
+    def time_s(self) -> float:
+        return self.cost.total_s
+
+    @property
+    def gflops(self) -> float:
+        return self.cost.gflops
+
+
+# ---------------------------------------------------------------------------
+# Partial-result flow through the reduction pipeline
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _PipelineStats:
+    """Counts accumulated while partial results flow through the levels."""
+
+    shuffle_ops: int = 0
+    shmem_ops: int = 0
+    serial_red_ops: int = 0
+    sync_barriers: int = 0
+    atomic_ops: int = 0
+    final_rows: Optional[np.ndarray] = None
+
+
+def _flow_partials(plan: ExecutionPlan) -> _PipelineStats:
+    """Walk the reduction chain, validating strategies and counting ops.
+
+    Partial results start as the distinct (thread, row) pairs; each level
+    merges partials that share a row within its scope.  TOTAL strategies
+    additionally require their scope to contain a single row.  Group ids are
+    tracked together with their current granularity (threads per group), so
+    a block step after a warp step regroups correctly.
+    """
+    valid = plan.out_rows >= 0
+    rows = plan.out_rows[valid]
+    threads = plan.thread_of_nz[valid]
+    stats = _PipelineStats()
+    if rows.size == 0:
+        stats.final_rows = rows
+        return stats
+
+    # Current partials: (scope_group, row). Start pre-thread-level: each
+    # element is its own partial owned by its thread.
+    cur_groups = threads
+    cur_rows = rows
+    granularity = 1  # threads represented by one group id
+    reached_global = False
+
+    for step in plan.reduction_steps:
+        if step.level == "thread":
+            distinct = _pair_counts(cur_groups, cur_rows)
+            if step.strategy == "THREAD_TOTAL_RED":
+                if distinct.per_group_max > 1:
+                    raise PlanValidationError(
+                        "THREAD_TOTAL_RED requires each thread to cover one row"
+                    )
+                # serial adds happen inside the FMA loop — already counted
+                # in the compute term
+            else:  # THREAD_BITMAP_RED: per-element row-boundary checks
+                stats.serial_red_ops += int(cur_rows.size)
+            cur_groups, cur_rows = _merge(cur_groups, cur_rows)
+        elif step.level == "warp":
+            if granularity > plan.warp_size:
+                raise PlanValidationError(
+                    "warp reduction cannot follow a coarser-grained step"
+                )
+            groups = cur_groups // (plan.warp_size // granularity)
+            granularity = plan.warp_size
+            distinct = _pair_counts(groups, cur_rows)
+            n_active_warps = distinct.n_groups
+            if step.strategy == "WARP_TOTAL_RED":
+                if distinct.per_group_max > 1:
+                    raise PlanValidationError(
+                        "WARP_TOTAL_RED requires one row per warp"
+                    )
+                stats.shuffle_ops += n_active_warps * 5
+            elif step.strategy == "WARP_SEG_RED":
+                stats.shuffle_ops += n_active_warps * 10
+            else:  # WARP_BITMAP_RED
+                stats.shuffle_ops += n_active_warps * 8
+            cur_groups, cur_rows = _merge(groups, cur_rows)
+        elif step.level == "block":
+            if granularity > plan.threads_per_block:
+                raise PlanValidationError(
+                    "block reduction cannot follow a coarser-grained step"
+                )
+            groups = cur_groups // (plan.threads_per_block // granularity)
+            granularity = plan.threads_per_block
+            distinct = _pair_counts(groups, cur_rows)
+            n_active_blocks = distinct.n_groups
+            if step.strategy == "SHMEM_TOTAL_RED":
+                if distinct.per_group_max > 1:
+                    raise PlanValidationError(
+                        "SHMEM_TOTAL_RED requires one row per thread block"
+                    )
+                stats.shmem_ops += int(cur_rows.size)
+                stats.sync_barriers += n_active_blocks * max(
+                    1, int(np.log2(max(2, plan.threads_per_block)))
+                )
+            else:  # SHMEM_OFFSET_RED: segmented row-offset reduce in shmem
+                stats.shmem_ops += int(3 * cur_rows.size)
+                stats.sync_barriers += n_active_blocks * 2
+            cur_groups, cur_rows = _merge(groups, cur_rows)
+        else:  # global
+            reached_global = True
+            stats.final_rows = cur_rows
+            if step.strategy == "GMEM_ATOM_RED":
+                stats.atomic_ops = int(cur_rows.size)
+            else:  # GMEM_DIRECT_STORE — every row written exactly once
+                counts = np.bincount(cur_rows, minlength=plan.n_rows)
+                if counts.max(initial=0) > 1:
+                    raise PlanValidationError(
+                        "GMEM_DIRECT_STORE requires a single partial per row; "
+                        "use GMEM_ATOM_RED"
+                    )
+    if not reached_global:
+        raise PlanValidationError("reduction chain never reached global memory")
+    return stats
+
+
+@dataclass(frozen=True)
+class _PairCounts:
+    n_groups: int
+    per_group_max: int
+
+
+def _pair_counts(groups: np.ndarray, rows: np.ndarray) -> _PairCounts:
+    """Distinct-group count and max distinct rows within any group."""
+    if rows.size == 0:
+        return _PairCounts(0, 0)
+    key = groups.astype(np.int64) * (int(rows.max()) + 1) + rows
+    uniq_pairs = np.unique(key)
+    pair_groups = uniq_pairs // (int(rows.max()) + 1)
+    group_ids, counts = np.unique(pair_groups, return_counts=True)
+    return _PairCounts(int(group_ids.size), int(counts.max()))
+
+
+def _merge(groups: np.ndarray, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse partials sharing (group, row) into one partial."""
+    if rows.size == 0:
+        return groups, rows
+    base = int(rows.max()) + 1
+    key = groups.astype(np.int64) * base + rows
+    uniq = np.unique(key)
+    return (uniq // base), (uniq % base)
+
+
+# ---------------------------------------------------------------------------
+# Cost-input extraction
+# ---------------------------------------------------------------------------
+
+def plan_cost_inputs(plan: ExecutionPlan, gpu: GPUSpec) -> KernelCostInputs:
+    """Summarise a plan into the numbers the cost model consumes."""
+    valid = plan.out_rows >= 0
+    stored = plan.stored_elements
+    per_thread = np.bincount(
+        plan.thread_of_nz, minlength=plan.n_threads
+    ).astype(np.int64)
+
+    # Warp lockstep: pad threads to a multiple of warp size, take the max
+    # element count per warp — idle lanes still burn issue slots.
+    warp = plan.warp_size
+    padded_len = plan.n_warps * warp
+    padded = np.zeros(padded_len, dtype=np.int64)
+    padded[: per_thread.size] = per_thread
+    warp_max = padded.reshape(plan.n_warps, warp).max(axis=1)
+    lockstep = float((warp_max * warp).sum())
+
+    # Block-level work distribution.
+    tpb = plan.threads_per_block
+    padded_blocks = plan.n_blocks * tpb
+    per_thread_b = np.zeros(padded_blocks, dtype=np.int64)
+    per_thread_b[: per_thread.size] = per_thread
+    block_work = per_thread_b.reshape(plan.n_blocks, tpb).sum(axis=1)
+    max_block = float(block_work.max(initial=0))
+    mean_block = float(block_work.mean()) if block_work.size else 0.0
+
+    if plan.storage_run_length is not None:
+        avg_run = float(plan.storage_run_length)
+    else:
+        active = per_thread[per_thread > 0]
+        avg_run = float(active.mean()) if active.size else 1.0
+    coalescing = coalescing_efficiency(avg_run, plan.interleaved, warp)
+
+    unique_cols = unique_column_count(plan.col_indices)
+    gather = gather_traffic_bytes(
+        plan.useful_nnz, unique_cols, plan.n_cols, gpu
+    ) * (plan.value_bytes / VALUE_BYTES)
+
+    stats = _flow_partials(plan)
+    final_rows = stats.final_rows
+    if final_rows is not None and final_rows.size:
+        max_atomics = int(
+            np.bincount(final_rows, minlength=plan.n_rows).max(initial=0)
+        ) if stats.atomic_ops else 0
+    else:
+        max_atomics = 0
+
+    vb = plan.value_bytes
+    format_bytes = stored * (vb + INDEX_BYTES) + plan.extra_format_bytes
+    y_bytes = plan.n_rows * vb + stats.atomic_ops * 2 * vb
+
+    return KernelCostInputs(
+        useful_flops=2.0 * plan.useful_nnz,
+        stored_elements=stored,
+        format_bytes=float(format_bytes),
+        gather_bytes=float(gather),
+        y_bytes=float(y_bytes),
+        coalescing=coalescing,
+        n_threads=plan.n_threads,
+        n_warps=plan.n_warps,
+        n_blocks=plan.n_blocks,
+        threads_per_block=tpb,
+        warp_lockstep_elements=lockstep,
+        max_block_elements=max_block,
+        mean_block_elements=mean_block,
+        atomic_ops=stats.atomic_ops,
+        max_atomics_per_row=max_atomics,
+        shmem_ops=stats.shmem_ops,
+        shuffle_ops=stats.shuffle_ops,
+        serial_red_ops=stats.serial_red_ops,
+        sync_barriers=stats.sync_barriers,
+        value_bytes=plan.value_bytes,
+    )
+
+
+def validate_plan(plan: ExecutionPlan) -> None:
+    """Raise :class:`PlanValidationError` if the reduction chain is invalid."""
+    _flow_partials(plan)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def execute(plan: ExecutionPlan, x: np.ndarray, gpu: GPUSpec) -> ExecutionResult:
+    """Run the kernel functionally and project its performance.
+
+    Returns the exact ``y`` (verified against padding-safety invariants) and
+    the cost breakdown.  Raises :class:`PlanValidationError` for semantically
+    invalid reduction chains — the same kernels that would compute wrong
+    answers on real hardware.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (plan.n_cols,):
+        raise ValueError(f"x must have shape ({plan.n_cols},)")
+
+    inputs = plan_cost_inputs(plan, gpu)  # validates the reduction chain
+
+    valid = plan.out_rows >= 0
+    cols = plan.col_indices[valid]
+    if cols.size and (cols.min() < 0 or cols.max() >= plan.n_cols):
+        raise PlanValidationError("valid element with out-of-range column")
+    products = plan.values[valid] * x[cols]
+    y = np.zeros(plan.n_rows, dtype=np.float64)
+    if products.size:
+        np.add.at(y, plan.out_rows[valid], products)
+
+    cost = CostModel(gpu).evaluate(inputs)
+    return ExecutionResult(y=y, cost=cost, inputs=inputs)

@@ -1,0 +1,30 @@
+"""Search Engine (paper §VI): three-level search over Operator Graphs.
+
+Level 1 enumerates graph *structures*; level 2 measures operator
+*parameters* on a coarse grid by running the generated programs; level 3
+interpolates to the fine parameter grid with a gradient-boosted-tree cost
+model (the paper uses XGBoost; :mod:`repro.search.mlmodel` is a from-scratch
+equivalent).  Simulated annealing terminates the first two levels early and
+pruning rules ban operators that cannot pay off for the input's sparsity
+pattern.
+"""
+
+from repro.search.engine import SearchBudget, SearchEngine, SearchResult, EvalRecord
+from repro.search.mlmodel import GradientBoostedTrees, RegressionTree
+from repro.search.annealing import AnnealingSchedule
+from repro.search.pruning import PruningRules, default_rules
+from repro.search.space import StructureSampler, enumerate_param_grid
+
+__all__ = [
+    "SearchBudget",
+    "SearchEngine",
+    "SearchResult",
+    "EvalRecord",
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "AnnealingSchedule",
+    "PruningRules",
+    "default_rules",
+    "StructureSampler",
+    "enumerate_param_grid",
+]

@@ -1,0 +1,45 @@
+"""Sparse-matrix substrate: the data the rest of AlphaSparse consumes.
+
+This package provides the matrix container (:class:`~repro.sparse.matrix.SparseMatrix`),
+Matrix Market I/O, synthetic pattern generators replicating the SuiteSparse
+families the paper evaluates on, and the named corpus used by the benchmark
+harness.
+"""
+
+from repro.sparse.matrix import SparseMatrix, MatrixStats
+from repro.sparse.io import read_matrix_market, write_matrix_market
+from repro.sparse.generators import (
+    banded_matrix,
+    block_diagonal_matrix,
+    diagonal_band_matrix,
+    fem_like_matrix,
+    lp_like_matrix,
+    power_law_matrix,
+    random_uniform_matrix,
+    rows_with_outliers_matrix,
+)
+from repro.sparse.collection import (
+    CorpusEntry,
+    corpus,
+    named_matrix,
+    NAMED_MATRICES,
+)
+
+__all__ = [
+    "SparseMatrix",
+    "MatrixStats",
+    "read_matrix_market",
+    "write_matrix_market",
+    "banded_matrix",
+    "block_diagonal_matrix",
+    "diagonal_band_matrix",
+    "fem_like_matrix",
+    "lp_like_matrix",
+    "power_law_matrix",
+    "random_uniform_matrix",
+    "rows_with_outliers_matrix",
+    "CorpusEntry",
+    "corpus",
+    "named_matrix",
+    "NAMED_MATRICES",
+]

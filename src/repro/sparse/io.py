@@ -1,0 +1,142 @@
+"""Matrix Market I/O.
+
+AlphaSparse's user contract (§III) is "input a Matrix Market file, get back a
+machine-designed format and kernel".  This module implements the subset of
+the MatrixMarket exchange format the paper's corpus uses: ``matrix
+coordinate`` with ``real``/``integer``/``pattern`` fields and
+``general``/``symmetric`` symmetry.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market", "MatrixMarketError"]
+
+
+class MatrixMarketError(ValueError):
+    """Raised for malformed Matrix Market content."""
+
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern", "double"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open_maybe(path_or_file: Union[str, os.PathLike, TextIO], mode: str):
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, mode), True
+
+
+def read_matrix_market(source: Union[str, os.PathLike, TextIO]) -> SparseMatrix:
+    """Parse a Matrix Market coordinate file into a :class:`SparseMatrix`.
+
+    Symmetric and skew-symmetric storage is expanded to general form, which
+    matches how the paper's SpMV treats every matrix.
+    """
+    handle, should_close = _open_maybe(source, "r")
+    try:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise MatrixMarketError("missing %%MatrixMarket header")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise MatrixMarketError(f"malformed header: {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        obj, fmt = obj.lower(), fmt.lower()
+        field, symmetry = field.lower(), symmetry.lower()
+        if obj != "matrix" or fmt != "coordinate":
+            raise MatrixMarketError(
+                f"only 'matrix coordinate' supported, got {obj!r} {fmt!r}"
+            )
+        if field not in _SUPPORTED_FIELDS:
+            raise MatrixMarketError(f"unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRY:
+            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+        line = handle.readline()
+        while line.startswith("%") or not line.strip():
+            line = handle.readline()
+            if not line:
+                raise MatrixMarketError("missing size line")
+        size_parts = line.split()
+        if len(size_parts) != 3:
+            raise MatrixMarketError(f"malformed size line: {line!r}")
+        n_rows, n_cols, nnz = (int(p) for p in size_parts)
+
+        pattern = field == "pattern"
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float64)
+        count = 0
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            entry = line.split()
+            if count >= nnz:
+                raise MatrixMarketError("more entries than declared nnz")
+            rows[count] = int(entry[0]) - 1
+            cols[count] = int(entry[1]) - 1
+            if not pattern:
+                if len(entry) < 3:
+                    raise MatrixMarketError(f"missing value on line: {line!r}")
+                vals[count] = float(entry[2])
+            count += 1
+        if count != nnz:
+            raise MatrixMarketError(
+                f"declared {nnz} entries but found {count}"
+            )
+
+        if symmetry in ("symmetric", "skew-symmetric"):
+            off_diag = rows != cols
+            extra_rows = cols[off_diag]
+            extra_cols = rows[off_diag]
+            extra_vals = vals[off_diag]
+            if symmetry == "skew-symmetric":
+                extra_vals = -extra_vals
+            rows = np.concatenate([rows, extra_rows])
+            cols = np.concatenate([cols, extra_cols])
+            vals = np.concatenate([vals, extra_vals])
+
+        name = ""
+        if isinstance(source, (str, os.PathLike)):
+            name = os.path.splitext(os.path.basename(os.fspath(source)))[0]
+        return SparseMatrix(n_rows, n_cols, rows, cols, vals, name=name)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_matrix_market(
+    matrix: SparseMatrix, target: Union[str, os.PathLike, TextIO]
+) -> None:
+    """Write a matrix in general real coordinate Matrix Market form."""
+    handle, should_close = _open_maybe(target, "w")
+    try:
+        handle.write("%%MatrixMarket matrix coordinate real general\n")
+        handle.write(f"% written by repro (AlphaSparse reproduction)\n")
+        handle.write(f"{matrix.n_rows} {matrix.n_cols} {matrix.nnz}\n")
+        for r, c, v in zip(matrix.rows, matrix.cols, matrix.vals):
+            handle.write(f"{r + 1} {c + 1} {v:.17g}\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def loads(text: str) -> SparseMatrix:
+    """Parse Matrix Market content from a string."""
+    return read_matrix_market(io.StringIO(text))
+
+
+def dumps(matrix: SparseMatrix) -> str:
+    """Serialise a matrix to a Matrix Market string."""
+    buf = io.StringIO()
+    write_matrix_market(matrix, buf)
+    return buf.getvalue()

@@ -1,0 +1,269 @@
+"""Core sparse-matrix container used throughout the reproduction.
+
+AlphaSparse consumes a sparse matrix as a set of (row, col, value) triplets
+— the natural reading of a Matrix Market file — and every operator of the
+Operator Graph transforms metadata derived from those triplets.  This module
+provides that canonical container plus the sparsity statistics the paper's
+search engine, pruning rules and evaluation stratify on (row-length variance,
+average row length, irregularity per §I Problem 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SparseMatrix", "MatrixStats"]
+
+#: Row-length variance threshold above which the paper calls a matrix
+#: *irregular* (§I, Problem 2: "variances of its row lengths are more than 100").
+IRREGULARITY_THRESHOLD = 100.0
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Summary statistics of a sparse matrix's sparsity pattern.
+
+    These are the features the paper uses to characterise matrices:
+    ``avg_row_length`` (nnz/n) and ``row_variance`` drive Figures 9b and 11–13,
+    and the pruning rules of §VI-B consult them to ban operators.
+    """
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    avg_row_length: float
+    row_variance: float
+    max_row_length: int
+    min_row_length: int
+    empty_rows: int
+    density: float
+
+    @property
+    def is_irregular(self) -> bool:
+        """Paper definition: row-length variance above 100."""
+        return self.row_variance > IRREGULARITY_THRESHOLD
+
+
+class SparseMatrix:
+    """A sparse matrix held as sorted COO triplets.
+
+    Triplets are stored row-major sorted (row, then column) with no
+    duplicates.  The container is immutable by convention: operators never
+    mutate it, they derive metadata from it.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Matrix dimensions.
+    rows, cols:
+        Integer coordinate arrays of equal length.
+    vals:
+        Values; defaults to ones when omitted (pattern matrices).
+    name:
+        Optional identifier (e.g. the SuiteSparse name it stands in for).
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        rows: Iterable[int],
+        cols: Iterable[int],
+        vals: Optional[Iterable[float]] = None,
+        name: str = "",
+    ) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.ndim != 1 or cols.ndim != 1 or rows.shape != cols.shape:
+            raise ValueError("rows and cols must be 1-D arrays of equal length")
+        if vals is None:
+            vals = np.ones(rows.shape[0], dtype=np.float64)
+        else:
+            vals = np.asarray(vals, dtype=np.float64)
+            if vals.shape != rows.shape:
+                raise ValueError("vals must match rows/cols length")
+        if n_rows <= 0 or n_cols <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n_rows:
+                raise ValueError("row index out of range")
+            if cols.min() < 0 or cols.max() >= n_cols:
+                raise ValueError("column index out of range")
+
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if rows.size:
+            dup = (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
+            if dup.any():
+                # Sum duplicates, Matrix Market "assemble" semantics.
+                keys = rows * n_cols + cols
+                uniq, inverse = np.unique(keys, return_inverse=True)
+                summed = np.bincount(inverse, weights=vals, minlength=uniq.size)
+                rows = (uniq // n_cols).astype(np.int64)
+                cols = (uniq % n_cols).astype(np.int64)
+                vals = summed
+
+        self._n_rows = int(n_rows)
+        self._n_cols = int(n_cols)
+        self._rows = rows
+        self._cols = cols
+        self._vals = vals
+        self.name = name
+        self._stats: Optional[MatrixStats] = None
+        self._row_lengths: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return self._n_cols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._n_rows, self._n_cols)
+
+    @property
+    def nnz(self) -> int:
+        return int(self._rows.size)
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Row indices, row-major sorted.  Do not mutate."""
+        return self._rows
+
+    @property
+    def cols(self) -> np.ndarray:
+        """Column indices, row-major sorted.  Do not mutate."""
+        return self._cols
+
+    @property
+    def vals(self) -> np.ndarray:
+        """Values aligned with :attr:`rows`/:attr:`cols`.  Do not mutate."""
+        return self._vals
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def row_lengths(self) -> np.ndarray:
+        """Number of stored non-zeros in each row (length ``n_rows``)."""
+        if self._row_lengths is None:
+            self._row_lengths = np.bincount(
+                self._rows, minlength=self._n_rows
+            ).astype(np.int64)
+        return self._row_lengths
+
+    def row_offsets(self) -> np.ndarray:
+        """CSR-style row pointer array of length ``n_rows + 1``."""
+        offsets = np.zeros(self._n_rows + 1, dtype=np.int64)
+        np.cumsum(self.row_lengths(), out=offsets[1:])
+        return offsets
+
+    @property
+    def stats(self) -> MatrixStats:
+        """Sparsity statistics (cached)."""
+        if self._stats is None:
+            lengths = self.row_lengths()
+            avg = float(lengths.mean()) if lengths.size else 0.0
+            var = float(((lengths - avg) ** 2).mean()) if lengths.size else 0.0
+            self._stats = MatrixStats(
+                n_rows=self._n_rows,
+                n_cols=self._n_cols,
+                nnz=self.nnz,
+                avg_row_length=avg,
+                row_variance=var,
+                max_row_length=int(lengths.max()) if lengths.size else 0,
+                min_row_length=int(lengths.min()) if lengths.size else 0,
+                empty_rows=int((lengths == 0).sum()),
+                density=self.nnz / (self._n_rows * self._n_cols),
+            )
+        return self._stats
+
+    @property
+    def is_irregular(self) -> bool:
+        return self.stats.is_irregular
+
+    # ------------------------------------------------------------------
+    # Linear algebra & conversions
+    # ------------------------------------------------------------------
+    def spmv_reference(self, x: np.ndarray) -> np.ndarray:
+        """Reference y = A @ x used as ground truth by every kernel test."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self._n_cols,):
+            raise ValueError(f"x must have shape ({self._n_cols},)")
+        products = self._vals * x[self._cols]
+        return np.bincount(
+            self._rows, weights=products, minlength=self._n_rows
+        ).astype(np.float64)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ndarray; only sensible for small test matrices."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        dense[self._rows, self._cols] = self._vals
+        return dense
+
+    def to_scipy_csr(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (validation helper)."""
+        from scipy.sparse import csr_matrix
+
+        return csr_matrix(
+            (self._vals, (self._rows, self._cols)), shape=self.shape
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, name: str = "") -> "SparseMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("dense input must be 2-D")
+        rows, cols = np.nonzero(dense)
+        return cls(dense.shape[0], dense.shape[1], rows, cols, dense[rows, cols], name=name)
+
+    @classmethod
+    def from_scipy(cls, mat, name: str = "") -> "SparseMatrix":
+        coo = mat.tocoo()
+        return cls(coo.shape[0], coo.shape[1], coo.row, coo.col, coo.data, name=name)
+
+    # ------------------------------------------------------------------
+    # Transformations used by the corpus builder
+    # ------------------------------------------------------------------
+    def drop_empty_rows(self) -> "SparseMatrix":
+        """Compact away empty rows (the paper's test set excludes them)."""
+        lengths = self.row_lengths()
+        keep = np.nonzero(lengths > 0)[0]
+        remap = -np.ones(self._n_rows, dtype=np.int64)
+        remap[keep] = np.arange(keep.size)
+        return SparseMatrix(
+            int(keep.size),
+            self._n_cols,
+            remap[self._rows],
+            self._cols,
+            self._vals,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<SparseMatrix{label} {self._n_rows}x{self._n_cols} "
+            f"nnz={self.nnz} row_var={self.stats.row_variance:.1f}>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self._rows, other._rows)
+            and np.array_equal(self._cols, other._cols)
+            and np.array_equal(self._vals, other._vals)
+        )
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("SparseMatrix is unhashable; use .name as a key")

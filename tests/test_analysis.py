@@ -1,0 +1,111 @@
+"""Analysis metrics and reporting tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    ARCHETYPE_SIGNATURES,
+    classify_creativity,
+    geomean,
+    speedup,
+    speedup_histogram,
+)
+from repro.analysis.reporting import render_series, render_table
+from repro.core.graph import GraphNode, OperatorGraph
+
+
+class TestBasicMetrics:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(30.0, 10.0) == 3.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestHistogram:
+    def test_fig10_binning(self):
+        speedups = [0.7, 0.9, 1.1, 1.25, 1.3, 1.5, 1.9, 2.5]
+        hist = speedup_histogram(speedups)
+        labels = [h[0] for h in hist]
+        assert labels[0] == "<0.8"
+        assert labels[-1] == ">=2.0"
+        assert sum(pct for _, pct in hist) == pytest.approx(100.0)
+        as_dict = dict(hist)
+        assert as_dict["1.2-1.4"] == pytest.approx(25.0)  # 1.25, 1.3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_histogram([])
+
+
+class TestCreativity:
+    def test_archetype_recognised(self):
+        g = OperatorGraph.from_names(list(ARCHETYPE_SIGNATURES["CSR-Scalar"]))
+        out = classify_creativity(g)
+        assert not out["machine_designed"]
+        assert out["matches"] == "CSR-Scalar"
+
+    def test_mixed_design_is_machine_designed(self):
+        # The Fig 14a mix: SELL blocking + thread-total + shmem reduction.
+        g = OperatorGraph.from_names(
+            ["SORT", "COMPRESS", "BMTB_ROW_BLOCK", "BMT_ROW_BLOCK", "BMT_PAD",
+             "INTERLEAVED_STORAGE", "SET_RESOURCES", "THREAD_TOTAL_RED",
+             "SHMEM_OFFSET_RED", "GMEM_DIRECT_STORE"]
+        )
+        out = classify_creativity(g)
+        assert out["machine_designed"]
+        assert out["matches"] is None
+        assert not out["branching"]
+
+    def test_branching_detected(self):
+        child = [GraphNode(n) for n in ARCHETYPE_SIGNATURES["CSR-Scalar"]]
+        g = OperatorGraph([GraphNode("BIN", children=[child])])
+        assert classify_creativity(g)["branching"]
+
+    def test_all_signatures_are_valid_graphs(self):
+        for name, sig in ARCHETYPE_SIGNATURES.items():
+            OperatorGraph.from_names(list(sig)).validate()
+
+    def test_parameter_level_classification(self, small_regular):
+        """With a matrix, novelty is judged including parameter values:
+        a source structure with different geometry is machine-designed."""
+        from repro.baselines import get_baseline
+
+        exact = get_baseline("CSR-Vector").graph(small_regular)
+        out = classify_creativity(exact, small_regular)
+        assert not out["machine_designed"]
+        assert out["matches"] == "CSR-Vector"
+
+        variant = exact.copy()
+        variant.nodes[2].params["threads_per_block"] = 64  # non-shipped config
+        out = classify_creativity(variant, small_regular)
+        assert out["machine_designed"]
+        assert not out["structure_novel"]  # same composition, new parameters
+
+
+class TestReporting:
+    def test_render_table(self):
+        text = render_table(
+            "Title", ["matrix", "GFLOPS"], [["a", 12.5], ["bb", 3.0]]
+        )
+        assert "Title" in text
+        assert "matrix" in text and "GFLOPS" in text
+        assert "12.50" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table("t", ["a", "b"], [["only-one"]])
+
+    def test_render_series(self):
+        text = render_series("S", [(1.0, 10.0), (2.0, 20.0)], "size", "gflops")
+        assert "S" in text
+        assert "#" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("S", [])

@@ -1,0 +1,80 @@
+"""CLI tests (the paper's artifact-usage contract)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.sparse import write_matrix_market
+
+
+@pytest.fixture
+def mtx_file(tmp_path, small_regular):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(small_regular, path)
+    return str(path)
+
+
+class TestStats:
+    def test_named_matrix(self, capsys):
+        assert main(["stats", "@scfxm1-2r"]) == 0
+        out = capsys.readouterr().out
+        assert "row variance" in out
+        assert "irregular" in out
+
+    def test_file(self, mtx_file, capsys):
+        assert main(["stats", mtx_file]) == 0
+        assert "nnz" in capsys.readouterr().out
+
+
+class TestOperatorsAndMatrices:
+    def test_operators_listing(self, capsys):
+        assert main(["operators"]) == 0
+        out = capsys.readouterr().out
+        for name in ("COMPRESS", "BMT_ROW_BLOCK", "WARP_SEG_RED", "HYB_DECOMP"):
+            assert name in out
+
+    def test_matrices_listing(self, capsys):
+        assert main(["matrices"]) == 0
+        out = capsys.readouterr().out
+        assert "scfxm1-2r" in out
+        assert "GL7d19" in out
+
+
+class TestBaselines:
+    def test_runs_all(self, mtx_file, capsys):
+        assert main(["baselines", mtx_file, "--gpu", "RTX2080"]) == 0
+        out = capsys.readouterr().out
+        for fmt in ("CSR5", "Merge", "HYB", "TACO"):
+            assert fmt in out
+
+
+class TestSearch:
+    def test_search_and_export(self, mtx_file, tmp_path, capsys):
+        out_dir = tmp_path / "artifact"
+        code = main([
+            "search", mtx_file, "--evals", "24", "--seed", "1",
+            "--out", str(out_dir), "--compare-pfs",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "winning Operator Graph" in text
+        assert "GFLOPS" in text
+        assert "speedup" in text
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["kernels"]
+
+    def test_search_prints_kernel_without_out(self, mtx_file, capsys):
+        assert main(["search", mtx_file, "--evals", "16"]) == 0
+        assert "__global__" in capsys.readouterr().out
+
+    def test_extensions_flag(self, capsys):
+        code = main([
+            "search", "@GL7d19", "--evals", "16", "--extensions",
+        ])
+        assert code == 0
+
+    def test_unknown_gpu_fails(self, mtx_file):
+        with pytest.raises(KeyError):
+            main(["search", mtx_file, "--gpu", "H100", "--evals", "4"])

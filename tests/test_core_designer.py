@@ -1,0 +1,86 @@
+"""Designer tests: graph execution, branching, error wrapping."""
+
+import numpy as np
+import pytest
+
+from repro.core.designer import DesignError, Designer
+from repro.core.graph import GraphNode, OperatorGraph
+
+
+CSR_SCALAR = ["COMPRESS", "BMT_ROW_BLOCK", "SET_RESOURCES",
+              "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"]
+
+
+class TestLinear:
+    def test_single_leaf(self, small_regular):
+        leaves = Designer().design(small_regular, OperatorGraph.from_names(CSR_SCALAR))
+        assert len(leaves) == 1
+        assert leaves[0].branch_path == ()
+        assert leaves[0].label == "root"
+        assert leaves[0].meta.applied_operators == CSR_SCALAR
+
+    def test_metadata_transformed(self, small_regular):
+        leaves = Designer().design(small_regular, OperatorGraph.from_names(CSR_SCALAR))
+        meta = leaves[0].meta
+        assert meta.compressed
+        assert meta.finest_level() == "bmt"
+        assert meta.reduction_steps[-1] == ("global", "GMEM_DIRECT_STORE")
+
+
+class TestBranching:
+    def test_shared_continuation(self, small_irregular):
+        g = OperatorGraph.from_names(
+            [("ROW_DIV", {"strategy": "equal", "parts": 3})] + CSR_SCALAR
+        )
+        leaves = Designer().design(small_irregular, g)
+        assert len(leaves) == 3
+        assert [l.branch_path for l in leaves] == [(0,), (1,), (2,)]
+        assert sum(l.meta.useful_nnz for l in leaves) == small_irregular.nnz
+
+    def test_explicit_children(self, small_irregular):
+        thread_child = [GraphNode(n) for n in
+                        ["COMPRESS", "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "GMEM_ATOM_RED"]]
+        warp_child = [GraphNode(n) for n in
+                      ["COMPRESS", "BMW_ROW_BLOCK", "WARP_SEG_RED", "GMEM_ATOM_RED"]]
+        g = OperatorGraph(
+            [GraphNode("BIN", {"n_bins": 2}, children=[thread_child, warp_child])]
+        )
+        leaves = Designer().design(small_irregular, g)
+        assert 1 <= len(leaves) <= 2
+        if len(leaves) == 2:
+            assert leaves[0].meta.finest_level() == "bmt"
+            assert leaves[1].meta.finest_level() == "bmw"
+
+    def test_children_cycled_when_fewer_than_partitions(self, small_irregular):
+        child = [GraphNode(n) for n in CSR_SCALAR]
+        g = OperatorGraph(
+            [GraphNode("ROW_DIV", {"strategy": "equal", "parts": 4},
+                       children=[child])]
+        )
+        leaves = Designer().design(small_irregular, g)
+        assert len(leaves) == 4  # single child template reused
+
+    def test_nested_labels(self, small_irregular):
+        g = OperatorGraph.from_names(
+            [("ROW_DIV", {"strategy": "equal", "parts": 2})] + CSR_SCALAR
+        )
+        leaves = Designer().design(small_irregular, g)
+        assert leaves[0].label == "0"
+        assert leaves[1].label == "1"
+
+
+class TestErrors:
+    def test_operator_error_wrapped(self, small_regular):
+        # SET_RESOURCES with non-warp-multiple tpb fails inside apply.
+        g = OperatorGraph.from_names(
+            ["COMPRESS", ("SET_RESOURCES", {"threads_per_block": 100}),
+             "GMEM_ATOM_RED"]
+        )
+        with pytest.raises(DesignError, match="SET_RESOURCES"):
+            Designer().design(small_regular, g)
+
+    def test_invariants_can_be_disabled(self, small_regular):
+        leaves = Designer(check_invariants=False).design(
+            small_regular, OperatorGraph.from_names(CSR_SCALAR)
+        )
+        assert len(leaves) == 1

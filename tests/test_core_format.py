@@ -1,0 +1,84 @@
+"""Format construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.designer import Designer
+from repro.core.format import build_format
+from repro.core.graph import OperatorGraph
+from repro.core.optimizer import ModelDrivenCompressor
+
+
+def design(matrix, ops):
+    return Designer().design(matrix, OperatorGraph.from_names(ops))[0].meta
+
+
+class TestExtraction:
+    def test_minimal_format(self, small_regular):
+        meta = design(small_regular, ["COMPRESS", "SET_RESOURCES", "GMEM_ATOM_RED"])
+        fmt = build_format(meta)
+        names = [a.name for a in fmt.arrays]
+        assert names[:2] == ["values", "col_indices"]
+        assert "origin_rows" not in names  # identity mapping omitted
+
+    def test_sorted_format_keeps_origin_rows(self, small_irregular):
+        meta = design(
+            small_irregular,
+            ["SORT", "COMPRESS", "BMT_ROW_BLOCK", "THREAD_TOTAL_RED",
+             "GMEM_DIRECT_STORE"],
+        )
+        fmt = build_format(meta)
+        assert "origin_rows" in fmt
+
+    def test_block_offsets_included(self, small_regular):
+        meta = design(
+            small_regular,
+            ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+             "SHMEM_OFFSET_RED", "GMEM_DIRECT_STORE"],
+        )
+        fmt = build_format(meta)
+        assert "bmtb_nz_offsets" in fmt
+        assert "bmtb_row_offsets" in fmt
+
+    def test_array_lookup(self, small_regular):
+        meta = design(small_regular, ["COMPRESS", "SET_RESOURCES", "GMEM_ATOM_RED"])
+        fmt = build_format(meta)
+        assert fmt.array("values").data.size == small_regular.nnz
+        with pytest.raises(KeyError):
+            fmt.array("nonexistent")
+
+
+class TestByteAccounting:
+    def test_raw_bytes(self, small_regular):
+        meta = design(small_regular, ["COMPRESS", "SET_RESOURCES", "GMEM_ATOM_RED"])
+        fmt = build_format(meta, compressor=None)
+        assert fmt.raw_bytes == small_regular.nnz * 8  # 4B value + 4B col
+        assert fmt.total_bytes == fmt.raw_bytes
+        assert fmt.aux_bytes == 0
+
+    def test_compression_reduces_bytes(self, small_regular):
+        ops = ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+               "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"]
+        meta = design(small_regular, ops)
+        plain = build_format(meta, compressor=None)
+        compressed = build_format(meta, compressor=ModelDrivenCompressor())
+        assert compressed.total_bytes < plain.total_bytes
+        assert compressed.compression_ratio < 1.0
+        # uniform 32-row blocking => the block row offsets are linear
+        # (bmt_nz_offsets stays in memory: band-boundary rows are shorter)
+        assert compressed.array("bmtb_row_offsets").compressed
+        assert compressed.array("bmt_row_offsets").compressed
+
+    def test_values_never_compressed(self, small_regular):
+        meta = design(small_regular, ["COMPRESS", "SET_RESOURCES", "GMEM_ATOM_RED"])
+        fmt = build_format(meta, compressor=ModelDrivenCompressor())
+        assert fmt.array("values").model is None
+        assert fmt.array("col_indices").model is None
+
+    def test_describe_mentions_models(self, small_regular):
+        ops = ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+               "SHMEM_OFFSET_RED", "GMEM_DIRECT_STORE"]
+        meta = design(small_regular, ops)
+        text = build_format(meta, compressor=ModelDrivenCompressor()).describe()
+        assert "model[" in text
+        assert "values" in text

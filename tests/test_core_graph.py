@@ -1,0 +1,137 @@
+"""OperatorGraph structure & validation tests."""
+
+import pytest
+
+from repro.core.graph import GraphNode, GraphValidationError, OperatorGraph
+
+
+CSR_SCALAR = ["COMPRESS", "BMT_ROW_BLOCK", "SET_RESOURCES",
+              "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"]
+
+
+class TestConstruction:
+    def test_from_names(self):
+        g = OperatorGraph.from_names(CSR_SCALAR)
+        assert [n.op_name for n in g.nodes] == CSR_SCALAR
+
+    def test_from_names_with_params(self):
+        g = OperatorGraph.from_names(
+            ["COMPRESS", ("BMT_ROW_BLOCK", {"rows_per_block": 2}),
+             "THREAD_BITMAP_RED", "GMEM_ATOM_RED"]
+        )
+        assert g.nodes[1].params["rows_per_block"] == 2
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(KeyError):
+            GraphNode("NOT_AN_OP")
+
+    def test_params_resolved_with_defaults(self):
+        node = GraphNode("SET_RESOURCES")
+        assert node.params["threads_per_block"] == 128
+
+    def test_children_only_on_branching(self):
+        with pytest.raises(GraphValidationError):
+            GraphNode("COMPRESS", children=[[GraphNode("GMEM_ATOM_RED")]])
+
+
+class TestValidation:
+    def test_stage_order_enforced(self):
+        with pytest.raises(GraphValidationError, match="cannot follow"):
+            OperatorGraph.from_names(
+                ["COMPRESS", "THREAD_TOTAL_RED", "BMT_ROW_BLOCK", "GMEM_ATOM_RED"]
+            )
+
+    def test_global_reduction_required(self):
+        with pytest.raises(GraphValidationError, match="global reduction"):
+            OperatorGraph.from_names(["COMPRESS", "THREAD_TOTAL_RED"])
+
+    def test_nothing_after_global(self):
+        with pytest.raises(GraphValidationError):
+            OperatorGraph.from_names(
+                ["COMPRESS", "GMEM_ATOM_RED", "GMEM_DIRECT_STORE"]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphValidationError):
+            OperatorGraph([])
+
+    def test_branch_children_validated(self):
+        bad_child = [GraphNode("COMPRESS")]  # no global reduction
+        with pytest.raises(GraphValidationError):
+            OperatorGraph([GraphNode("BIN", children=[bad_child])])
+
+    def test_branch_without_children_needs_continuation(self):
+        with pytest.raises(GraphValidationError, match="continuation"):
+            OperatorGraph([GraphNode("ROW_DIV")])
+
+    def test_branch_with_continuation_valid(self):
+        g = OperatorGraph.from_names(["ROW_DIV"] + CSR_SCALAR)
+        assert g.has_branches
+
+    def test_branch_with_children_must_be_last(self):
+        child = [GraphNode(n) for n in CSR_SCALAR]
+        with pytest.raises(GraphValidationError, match="last node"):
+            OperatorGraph(
+                [GraphNode("BIN", children=[child]), GraphNode("COMPRESS")]
+            )
+
+    def test_explicit_children_valid(self):
+        child_a = [GraphNode(n) for n in CSR_SCALAR]
+        child_b = [GraphNode(n) for n in CSR_SCALAR]
+        g = OperatorGraph([GraphNode("BIN", children=[child_a, child_b])])
+        assert g.has_branches
+
+
+class TestIntrospection:
+    def test_walk_covers_children(self):
+        child = [GraphNode(n) for n in CSR_SCALAR]
+        g = OperatorGraph([GraphNode("BIN", children=[child])])
+        names = g.operator_names()
+        assert names[0] == "BIN"
+        assert names[1:] == CSR_SCALAR
+
+    def test_depth(self):
+        g = OperatorGraph.from_names(CSR_SCALAR)
+        assert g.depth() == len(CSR_SCALAR)
+
+    def test_signature_distinguishes_params(self):
+        a = OperatorGraph.from_names(CSR_SCALAR)
+        b = OperatorGraph.from_names(
+            ["COMPRESS", ("BMT_ROW_BLOCK", {"rows_per_block": 2}),
+             "SET_RESOURCES", "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"]
+        )
+        assert a.signature() != b.signature()
+        assert a.structure_signature() == b.structure_signature()
+
+    def test_equality_and_hash(self):
+        a = OperatorGraph.from_names(CSR_SCALAR)
+        b = OperatorGraph.from_names(CSR_SCALAR)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_describe_mentions_ops(self):
+        text = OperatorGraph.from_names(CSR_SCALAR).describe()
+        for op in CSR_SCALAR:
+            assert op in text
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        g = OperatorGraph.from_names(
+            ["SORT", "COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 64}),
+             "SHMEM_OFFSET_RED", "GMEM_DIRECT_STORE"]
+        )
+        again = OperatorGraph.from_dict(g.to_dict())
+        assert again == g
+
+    def test_round_trip_with_branches(self):
+        child = [GraphNode(n) for n in CSR_SCALAR]
+        g = OperatorGraph([GraphNode("BIN", {"n_bins": 2}, children=[child, list(child)])])
+        again = OperatorGraph.from_dict(g.to_dict())
+        assert again == g
+
+    def test_copy_independent(self):
+        g = OperatorGraph.from_names(CSR_SCALAR)
+        c = g.copy()
+        c.nodes[1].params["rows_per_block"] = 4
+        assert g.nodes[1].params["rows_per_block"] == 1

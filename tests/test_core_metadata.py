@@ -1,0 +1,122 @@
+"""MatrixMetadataSet tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.metadata import MatrixMetadataSet, MetadataError
+
+
+class TestFromMatrix:
+    def test_initial_state(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        assert meta.n_rows == 4
+        assert meta.n_cols == 4
+        assert meta.useful_nnz == 5
+        assert not meta.compressed
+        assert meta.stored_elements == 5
+        assert not meta.elem_pad.any()
+        np.testing.assert_array_equal(meta.origin_rows, np.arange(4))
+        assert meta.get("orig_n_rows") == 4
+        assert meta.reduction_steps == []
+        assert meta.finest_level() is None
+
+    def test_arrays_are_copies(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        meta.elem_val[0] = 99.0
+        assert tiny_matrix.vals[0] != 99.0
+
+    def test_invariants_pass(self, tiny_matrix):
+        MatrixMetadataSet.from_matrix(tiny_matrix).check_invariants()
+
+
+class TestKeyValueInterface:
+    def test_put_get(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        meta.put("user_key", [1, 2, 3])
+        assert meta.get("user_key") == [1, 2, 3]
+        assert "user_key" in meta
+        assert meta.get("missing", "default") == "default"
+
+    def test_keys_view(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        assert "elem_row" in meta.keys()
+
+
+class TestCopy:
+    def test_independent_arrays(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        clone = meta.copy()
+        clone.elem_val[0] = -1.0
+        assert meta.elem_val[0] != -1.0
+
+    def test_independent_lists_and_dicts(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        clone = meta.copy()
+        clone.reduction_steps.append(("global", "GMEM_ATOM_RED"))
+        clone.format_arrays["extra"] = np.arange(3)
+        assert meta.reduction_steps == []
+        assert "extra" not in meta.format_arrays
+
+
+class TestBlocks:
+    def test_set_and_query(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        blocks = np.array([0, 0, 1, 1, 2])
+        meta.set_blocks("bmtb", blocks, 3)
+        assert meta.n_blocks("bmtb") == 3
+        assert meta.coarsest_level() == "bmtb"
+        assert meta.finest_level() == "bmtb"
+        meta.set_blocks("bmt", np.array([0, 1, 2, 3, 4]), 5)
+        assert meta.finest_level() == "bmt"
+        assert meta.coarsest_level() == "bmtb"
+
+    def test_unknown_level_rejected(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        with pytest.raises(ValueError):
+            meta.set_blocks("grid", np.zeros(5, dtype=np.int64), 1)
+        with pytest.raises(ValueError):
+            meta.blocks_of("grid")
+
+
+class TestInvariants:
+    def test_length_mismatch_detected(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        meta.elem_col = meta.elem_col[:-1]
+        with pytest.raises(MetadataError):
+            meta.check_invariants()
+
+    def test_padding_value_checked(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        pad = meta.elem_pad.copy()
+        pad[0] = True
+        meta.elem_pad = pad
+        with pytest.raises(MetadataError):
+            meta.check_invariants()  # padding with non-zero value
+
+    def test_useful_nnz_consistency(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        meta.put("useful_nnz", 3)
+        with pytest.raises(MetadataError):
+            meta.check_invariants()
+
+    def test_noncontiguous_blocks_detected(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        meta.set_blocks("bmtb", np.array([0, 1, 0, 1, 2]), 3)
+        with pytest.raises(MetadataError):
+            meta.check_invariants()
+
+    def test_nesting_violation_detected(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        meta.set_blocks("bmtb", np.array([0, 0, 1, 1, 1]), 2)
+        # bmt block 1 straddles the bmtb boundary between positions 1 and 2.
+        meta.set_blocks("bmt", np.array([0, 1, 1, 2, 3]), 4)
+        with pytest.raises(MetadataError):
+            meta.check_invariants()
+
+    def test_row_out_of_range_detected(self, tiny_matrix):
+        meta = MatrixMetadataSet.from_matrix(tiny_matrix)
+        rows = meta.elem_row.copy()
+        rows[0] = 99
+        meta.elem_row = rows
+        with pytest.raises(MetadataError):
+            meta.check_invariants()

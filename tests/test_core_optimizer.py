@@ -1,0 +1,128 @@
+"""Model-Driven Format Compression tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import CompressionModel, ModelDrivenCompressor
+
+
+@pytest.fixture
+def compressor():
+    return ModelDrivenCompressor()
+
+
+class TestLinear:
+    def test_fits_arange(self, compressor):
+        arr = np.arange(0, 640, 64)
+        model = compressor.fit(arr)
+        assert model is not None and model.kind == "linear"
+        np.testing.assert_array_equal(model.predict(np.arange(arr.size)), arr)
+        assert model.stored_bytes == 0
+
+    def test_fits_constant(self, compressor):
+        arr = np.full(50, 7)
+        model = compressor.fit(arr)
+        assert model is not None
+        np.testing.assert_array_equal(model.predict(np.arange(50)), arr)
+
+    def test_tolerates_few_exceptions(self, compressor):
+        arr = np.arange(0, 6400, 64)
+        arr[3] = 999  # single outlier
+        model = compressor.fit(arr)
+        assert model is not None
+        assert len(model.exceptions) == 1
+        np.testing.assert_array_equal(model.predict(np.arange(arr.size)), arr)
+        assert model.stored_bytes == 8
+
+    def test_expression(self, compressor):
+        model = compressor.fit(np.arange(0, 320, 32))
+        assert model.expression("bid") == "0 + 32 * bid"
+
+
+class TestStepAndPeriodic:
+    def test_fits_step(self, compressor):
+        arr = np.repeat(np.arange(10) * 5, 4)  # 0,0,0,0,5,5,5,5,...
+        model = compressor.fit(arr)
+        assert model is not None
+        np.testing.assert_array_equal(model.predict(np.arange(arr.size)), arr)
+
+    def test_fits_periodic_linear(self, compressor):
+        # a[i] = 2*(i % 8) + 100*(i // 8): per-block offsets pattern.
+        idx = np.arange(64)
+        arr = 2 * (idx % 8) + 100 * (idx // 8)
+        model = compressor.fit(arr)
+        assert model is not None
+        assert model.kind in ("step", "periodic_linear")
+        np.testing.assert_array_equal(model.predict(idx), arr)
+
+    def test_expression_contains_period(self, compressor):
+        idx = np.arange(64)
+        arr = 3 * (idx % 4) + 50 * (idx // 4)
+        model = compressor.fit(arr)
+        expr = model.expression("i")
+        assert "%" in expr or "/" in expr
+
+
+class TestRefusal:
+    def test_random_array_not_fitted(self, compressor):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 10_000, size=500)
+        assert compressor.fit(arr) is None
+
+    def test_float_array_not_fitted(self, compressor):
+        assert compressor.fit(np.linspace(0, 1, 10)) is None
+
+    def test_empty_array_trivially_fitted(self, compressor):
+        model = compressor.fit(np.array([], dtype=np.int64))
+        assert model is not None
+        assert model.stored_bytes == 0
+
+    def test_permutation_not_fitted(self, compressor):
+        rng = np.random.default_rng(1)
+        arr = rng.permutation(200)
+        assert compressor.fit(arr) is None
+
+
+class TestExtensibility:
+    def test_user_hypothesis(self):
+        compressor = ModelDrivenCompressor()
+
+        def fit_squares(arr, budget):
+            idx = np.arange(arr.size)
+            if np.array_equal(arr, idx**2):
+                # reuse the linear container shape for the test
+                return CompressionModel("linear", (0.0, 0.0), 1, tuple(
+                    (int(i), int(v)) for i, v in enumerate(arr)
+                ), arr.size)
+            return None
+
+        compressor.register("squares", fit_squares)
+        arr = np.arange(5) ** 2
+        model = compressor.fit(arr)
+        assert model is not None
+        np.testing.assert_array_equal(model.predict(np.arange(5)), arr)
+
+
+class TestExactnessGuarantee:
+    @given(
+        start=st.integers(-1000, 1000),
+        slope=st.integers(-64, 64),
+        n=st.integers(2, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_linear_always_exact(self, start, slope, n):
+        arr = start + slope * np.arange(n)
+        model = ModelDrivenCompressor().fit(arr)
+        assert model is not None
+        np.testing.assert_array_equal(model.predict(np.arange(n)), arr)
+
+    @given(st.lists(st.integers(0, 1_000_000), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_property_accepted_models_are_exact(self, values):
+        """Whatever the fitter accepts must reproduce the array exactly —
+        'any errors in the model would cause incorrect SpMV' (paper §V-D)."""
+        arr = np.asarray(values, dtype=np.int64)
+        model = ModelDrivenCompressor().fit(arr)
+        if model is not None:
+            np.testing.assert_array_equal(model.predict(np.arange(arr.size)), arr)

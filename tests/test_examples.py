@@ -1,0 +1,32 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are part of the public deliverable; these tests execute each one
+in-process (stdout captured by pytest) so a refactor can never silently
+break them.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+ALL_EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_examples_directory_complete():
+    """The deliverable promises at least a quickstart plus domain scenarios."""
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(os.path.join(EXAMPLES_DIR, script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

@@ -1,0 +1,98 @@
+"""Artifact-export tests."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import OperatorGraph, build_program
+from repro.export import export_program, load_exported_graph, read_manifest
+
+
+GRAPH_OPS = [
+    "SORT", "COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+    "BMT_ROW_BLOCK", ("BMT_PAD", {"mode": "max"}), "INTERLEAVED_STORAGE",
+    "THREAD_TOTAL_RED", "GMEM_ATOM_RED",
+]
+
+
+@pytest.fixture
+def exported(tmp_path, small_irregular):
+    graph = OperatorGraph.from_names(GRAPH_OPS)
+    program = build_program(small_irregular, graph)
+    manifest_path = export_program(program, tmp_path / "artifact", graph)
+    return tmp_path / "artifact", program, graph, manifest_path
+
+
+class TestExport:
+    def test_manifest_written(self, exported):
+        directory, program, _, manifest_path = exported
+        assert os.path.exists(manifest_path)
+        manifest = read_manifest(directory)
+        assert manifest["matrix_name"] == program.matrix_name
+        assert manifest["useful_nnz"] == program.useful_nnz
+        assert len(manifest["kernels"]) == program.n_kernels
+
+    def test_kernel_source_written(self, exported):
+        directory, program, _, _ = exported
+        manifest = read_manifest(directory)
+        src_file = directory / manifest["kernels"][0]["source"]
+        text = src_file.read_text()
+        assert "__global__" in text
+
+    def test_arrays_round_trip(self, exported):
+        directory, program, _, _ = exported
+        manifest = read_manifest(directory)
+        unit = program.kernels[0]
+        for entry in manifest["kernels"][0]["arrays"]:
+            arr = unit.format.array(entry["name"])
+            if "file" in entry:
+                loaded = np.load(directory / entry["file"])
+                np.testing.assert_array_equal(loaded, arr.data)
+            else:
+                # Modelled arrays ship as closed forms, not files.
+                assert entry["model"]["kind"] in (
+                    "linear", "step", "periodic_linear"
+                )
+                assert arr.model is not None
+
+    def test_modelled_arrays_reconstructable(self, exported):
+        """The exported model JSON must regenerate the original array."""
+        from repro.core.optimizer import CompressionModel
+
+        directory, program, _, _ = exported
+        manifest = read_manifest(directory)
+        unit = program.kernels[0]
+        for entry in manifest["kernels"][0]["arrays"]:
+            if "model" not in entry:
+                continue
+            spec = entry["model"]
+            model = CompressionModel(
+                kind=spec["kind"],
+                coeffs=tuple(spec["coeffs"]),
+                period=spec["period"],
+                exceptions=tuple(tuple(e) for e in spec["exceptions"]),
+                length=spec["length"],
+            )
+            original = unit.format.array(entry["name"]).data
+            np.testing.assert_array_equal(
+                model.predict(np.arange(original.size)), original
+            )
+
+    def test_graph_round_trip(self, exported):
+        directory, _, graph, _ = exported
+        again = load_exported_graph(directory)
+        assert again == graph
+
+    def test_launch_config_recorded(self, exported):
+        directory, program, _, _ = exported
+        manifest = read_manifest(directory)
+        launch = manifest["kernels"][0]["launch"]
+        assert launch["threads_per_block"] == program.kernels[0].plan.threads_per_block
+        assert launch["interleaved"] is True
+
+    def test_manifest_is_valid_json(self, exported):
+        directory, _, _, manifest_path = exported
+        with open(manifest_path) as handle:
+            json.load(handle)  # must not raise

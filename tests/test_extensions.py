@@ -1,0 +1,162 @@
+"""Tests for the paper's future-work extensions implemented here.
+
+§VII-H names HYB's matrix-decomposition strategy as the operator whose
+absence costs AlphaSparse the GL7d19-style cases; §IX lists format
+conversion routines.  Both are implemented behind the ``enable_extensions``
+opt-in so the default configuration still mirrors the paper's prototype.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import GraphNode, OperatorGraph
+from repro.core.kernel.builder import BuildError, build_program
+from repro.core.metadata import MatrixMetadataSet
+from repro.core.operators import get_operator
+from repro.gpu import A100
+from repro.search import SearchBudget, SearchEngine
+from repro.search.space import StructureSampler, seed_structures
+from repro.sparse import rows_with_outliers_matrix
+
+
+HYB_GRAPH = OperatorGraph(
+    [
+        GraphNode("HYB_DECOMP", {"width_scale": 1.0}, children=[
+            [GraphNode("COMPRESS"),
+             GraphNode("BMT_ROW_BLOCK", {"rows_per_block": 1}),
+             GraphNode("BMT_PAD", {"mode": "max"}),
+             GraphNode("INTERLEAVED_STORAGE"),
+             GraphNode("THREAD_TOTAL_RED"),
+             GraphNode("GMEM_ATOM_RED")],
+            [GraphNode("COMPRESS"),
+             GraphNode("SET_RESOURCES"),
+             GraphNode("GMEM_ATOM_RED")],
+        ]),
+    ]
+)
+
+
+@pytest.fixture
+def outlier_matrix():
+    return rows_with_outliers_matrix(800, base_len=8, n_outliers=4, seed=3,
+                                     name="ext_outliers")
+
+
+class TestHybDecompOperator:
+    def test_partition_by_width(self, outlier_matrix):
+        op = get_operator("HYB_DECOMP")
+        meta = MatrixMetadataSet.from_matrix(outlier_matrix)
+        children = op.partition(meta, op.resolve_params({"width_scale": 1.0}))
+        assert len(children) == 2
+        head, overflow = children
+        assert head.useful_nnz + overflow.useful_nnz == outlier_matrix.nnz
+        # head part: every row capped near the average width
+        head_lengths = np.bincount(head.elem_row, minlength=head.n_rows)
+        avg = outlier_matrix.stats.avg_row_length
+        assert head_lengths.max() <= int(np.ceil(avg)) + 1
+
+    def test_uniform_matrix_no_split(self, small_regular):
+        op = get_operator("HYB_DECOMP")
+        meta = MatrixMetadataSet.from_matrix(small_regular)
+        children = op.partition(meta, op.resolve_params({"width_scale": 3.0}))
+        assert len(children) == 1  # nothing overflows
+
+    def test_end_to_end_correct(self, outlier_matrix, x_for):
+        prog = build_program(outlier_matrix, HYB_GRAPH)
+        assert prog.n_kernels == 2
+        x = x_for(outlier_matrix)
+        res = prog.run(x, A100)
+        np.testing.assert_allclose(
+            res.y, outlier_matrix.spmv_reference(x), rtol=1e-9, atol=1e-9
+        )
+
+
+class TestCrossKernelWriteCheck:
+    def test_conflicting_direct_store_rejected(self, outlier_matrix):
+        bad = OperatorGraph(
+            [
+                GraphNode("HYB_DECOMP", {"width_scale": 1.0}, children=[
+                    [GraphNode("COMPRESS"),
+                     GraphNode("BMT_ROW_BLOCK", {"rows_per_block": 1}),
+                     GraphNode("THREAD_TOTAL_RED"),
+                     GraphNode("GMEM_DIRECT_STORE")],  # conflicts with child 2
+                    [GraphNode("COMPRESS"),
+                     GraphNode("SET_RESOURCES"),
+                     GraphNode("GMEM_ATOM_RED")],
+                ]),
+            ]
+        )
+        with pytest.raises(BuildError, match="GMEM_DIRECT_STORE"):
+            build_program(outlier_matrix, bad)
+
+    def test_disjoint_direct_stores_allowed(self, small_irregular):
+        g = OperatorGraph.from_names(
+            [("ROW_DIV", {"strategy": "equal", "parts": 2}),
+             "COMPRESS", "BMT_ROW_BLOCK", "THREAD_TOTAL_RED",
+             "GMEM_DIRECT_STORE"]
+        )
+        prog = build_program(small_irregular, g)  # must not raise
+        assert prog.n_kernels == 2
+
+
+class TestExtensionsFlag:
+    def test_default_sampler_never_uses_hyb_decomp(self):
+        sampler = StructureSampler(seed=0, extensions=False)
+        for _ in range(120):
+            assert "HYB_DECOMP" not in sampler.sample().graph.operator_names()
+
+    def test_extension_seeds_include_hyb(self):
+        names = [tuple(p.graph.operator_names())
+                 for p in seed_structures(extensions=True)]
+        assert any("HYB_DECOMP" in sig for sig in names)
+        base = [tuple(p.graph.operator_names()) for p in seed_structures()]
+        assert not any("HYB_DECOMP" in sig for sig in base)
+
+    def test_engine_with_extensions_still_correct(self, outlier_matrix, x_for):
+        res = SearchEngine(
+            A100,
+            budget=SearchBudget(max_structures=6, coarse_evals_per_structure=4,
+                                max_total_evals=30),
+            seed=2,
+            enable_extensions=True,
+        ).search(outlier_matrix)
+        x = x_for(outlier_matrix)
+        out = res.best_program.run(x, A100)
+        np.testing.assert_allclose(
+            out.y, outlier_matrix.spmv_reference(x), rtol=1e-9, atol=1e-9
+        )
+
+
+class TestConversionCost:
+    def test_positive_and_scales_with_format(self, small_irregular):
+        plain = build_program(
+            small_irregular,
+            OperatorGraph.from_names(
+                ["COMPRESS", "SET_RESOURCES", "GMEM_ATOM_RED"]
+            ),
+        )
+        sorted_padded = build_program(
+            small_irregular,
+            OperatorGraph.from_names(
+                ["SORT", "COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+                 "BMT_ROW_BLOCK", ("BMT_PAD", {"mode": "max"}),
+                 "INTERLEAVED_STORAGE", "THREAD_TOTAL_RED", "GMEM_ATOM_RED"]
+            ),
+        )
+        c_plain = plain.conversion_cost_s(A100)
+        c_rich = sorted_padded.conversion_cost_s(A100)
+        assert c_plain > 0
+        assert c_rich > c_plain  # sorting + padding cost more to build
+
+    def test_amortization(self, small_irregular):
+        prog = build_program(
+            small_irregular,
+            OperatorGraph.from_names(
+                ["COMPRESS", "BMT_ROW_BLOCK", "THREAD_TOTAL_RED",
+                 "GMEM_DIRECT_STORE"]
+            ),
+        )
+        iters = prog.iterations_to_amortize(A100, baseline_time_s=1e-5,
+                                            own_time_s=5e-6)
+        assert 0 < iters < float("inf")
+        assert prog.iterations_to_amortize(A100, 1e-6, 5e-6) == float("inf")

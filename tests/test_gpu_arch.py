@@ -1,0 +1,55 @@
+"""GPU architecture preset tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.arch import A100, RTX2080, GPUSpec, gpu_by_name
+
+
+class TestPresets:
+    def test_a100_headline_specs(self):
+        """The numbers the paper quotes in §VII-A."""
+        assert A100.cuda_cores == 6912
+        assert A100.dram_bandwidth_gbps == pytest.approx(1555.0)
+        assert A100.peak_gflops_sp == pytest.approx(19490.0)
+        assert A100.l2_cache_bytes == 40 * 1024 * 1024
+
+    def test_rtx2080_headline_specs(self):
+        assert RTX2080.cuda_cores == 2944
+        assert RTX2080.dram_bandwidth_gbps == pytest.approx(448.0)
+        assert RTX2080.peak_gflops_sp == pytest.approx(10070.0)
+
+    def test_a100_strictly_stronger(self):
+        assert A100.dram_bandwidth_gbps > RTX2080.dram_bandwidth_gbps
+        assert A100.num_sms > RTX2080.num_sms
+        assert A100.l2_cache_bytes > RTX2080.l2_cache_bytes
+
+    def test_max_warps(self):
+        assert A100.max_warps == 6912 // 32
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            A100.warp_size = 64  # type: ignore[misc]
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["A100", "a100", "RTX2080", "rtx 2080", "RTX 2080"])
+    def test_lookup_variants(self, name):
+        assert gpu_by_name(name) in (A100, RTX2080)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            gpu_by_name("H100")
+
+
+class TestValidation:
+    def test_invalid_specs_rejected(self):
+        base = dataclasses.asdict(A100)
+        base["warp_size"] = 0
+        with pytest.raises(ValueError):
+            GPUSpec(**base)
+        base = dataclasses.asdict(A100)
+        base["dram_bandwidth_gbps"] = -1.0
+        with pytest.raises(ValueError):
+            GPUSpec(**base)

@@ -1,0 +1,169 @@
+"""Cost-model tests: the roofline behaviours the paper's analysis relies on."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.arch import A100, RTX2080
+from repro.gpu.cost import CostModel, KernelCostInputs
+
+
+def make_inputs(**overrides) -> KernelCostInputs:
+    """A healthy mid-size kernel; overrides tweak one factor at a time."""
+    base = dict(
+        useful_flops=2.0e5,
+        stored_elements=100_000,
+        format_bytes=800_000.0,
+        gather_bytes=200_000.0,
+        y_bytes=40_000.0,
+        coalescing=1.0,
+        n_threads=20_000,
+        n_warps=20_000 // 32,
+        n_blocks=160,
+        threads_per_block=128,
+        warp_lockstep_elements=100_000.0,
+        max_block_elements=700.0,
+        mean_block_elements=625.0,
+        atomic_ops=0,
+        max_atomics_per_row=0,
+        shmem_ops=0,
+        shuffle_ops=0,
+        serial_red_ops=0,
+        sync_barriers=0,
+    )
+    base.update(overrides)
+    return KernelCostInputs(**base)
+
+
+class TestOccupancy:
+    def test_saturated_at_capacity(self):
+        model = CostModel(A100)
+        inputs = make_inputs(n_threads=A100.saturating_threads * 2, n_blocks=500)
+        assert model.occupancy(inputs) == 1.0
+
+    def test_monotone_in_threads(self):
+        model = CostModel(A100)
+        occs = [
+            model.occupancy(make_inputs(n_threads=n, n_warps=n // 32, n_blocks=max(1, n // 128)))
+            for n in (100, 1000, 5000, 20_000, 50_000)
+        ]
+        assert all(a <= b for a, b in zip(occs, occs[1:]))
+
+    def test_few_blocks_penalised(self):
+        model = CostModel(A100)
+        many = model.occupancy(make_inputs(n_blocks=200))
+        few = model.occupancy(make_inputs(n_blocks=2))
+        assert few < many
+
+
+class TestDivergence:
+    def test_balanced_is_one(self):
+        model = CostModel(A100)
+        assert model.divergence_factor(make_inputs()) == 1.0
+
+    def test_skewed_warps_cost(self):
+        model = CostModel(A100)
+        skewed = make_inputs(warp_lockstep_elements=400_000.0)
+        assert model.divergence_factor(skewed) == pytest.approx(4.0)
+
+
+class TestBlockImbalance:
+    def test_even_blocks(self):
+        model = CostModel(A100)
+        assert model.block_imbalance(make_inputs()) == pytest.approx(1.12, rel=0.1)
+
+    def test_amortised_over_waves(self):
+        model = CostModel(A100)
+        few_waves = make_inputs(max_block_elements=5000.0, n_blocks=108)
+        many_waves = make_inputs(max_block_elements=5000.0, n_blocks=108 * 16)
+        assert model.block_imbalance(many_waves) < model.block_imbalance(few_waves)
+
+
+class TestEvaluate:
+    def test_memory_bound_tracks_bytes(self):
+        model = CostModel(A100)
+        small = model.evaluate(make_inputs())
+        big = model.evaluate(
+            make_inputs(format_bytes=8_000_000.0, gather_bytes=2_000_000.0)
+        )
+        assert big.total_s > small.total_s
+
+    def test_padding_hurts(self):
+        model = CostModel(A100)
+        lean = model.evaluate(make_inputs())
+        padded = model.evaluate(
+            make_inputs(stored_elements=400_000, format_bytes=3_200_000.0)
+        )
+        assert padded.gflops < lean.gflops
+
+    def test_poor_coalescing_hurts(self):
+        model = CostModel(A100)
+        good = model.evaluate(make_inputs(coalescing=1.0))
+        bad = model.evaluate(make_inputs(coalescing=0.25))
+        assert bad.total_s > good.total_s
+
+    def test_atomics_add_time(self):
+        model = CostModel(A100)
+        without = model.evaluate(make_inputs())
+        with_atomics = model.evaluate(
+            make_inputs(atomic_ops=100_000, max_atomics_per_row=1)
+        )
+        assert with_atomics.atomic_s > 0
+        assert with_atomics.total_s > without.total_s
+
+    def test_atomic_contention_penalty(self):
+        model = CostModel(A100)
+        spread = model.evaluate(make_inputs(atomic_ops=50_000, max_atomics_per_row=2))
+        hot = model.evaluate(make_inputs(atomic_ops=50_000, max_atomics_per_row=50_000))
+        assert hot.atomic_s > spread.atomic_s
+
+    def test_reduction_ops_counted(self):
+        model = CostModel(A100)
+        base = model.evaluate(make_inputs())
+        heavy = model.evaluate(
+            make_inputs(shmem_ops=10_000_000, sync_barriers=2000)
+        )
+        assert heavy.reduction_s > base.reduction_s
+
+    def test_gflops_definition(self):
+        model = CostModel(A100)
+        out = model.evaluate(make_inputs())
+        assert out.gflops == pytest.approx(
+            make_inputs().useful_flops / out.total_s / 1e9
+        )
+
+    def test_a100_faster_than_2080_when_saturated(self):
+        inputs = make_inputs(n_threads=200_000, n_blocks=2000,
+                             format_bytes=80_000_000.0, gather_bytes=0.0)
+        a = CostModel(A100).evaluate(inputs)
+        t = CostModel(RTX2080).evaluate(inputs)
+        assert a.gflops > 2.0 * t.gflops  # bandwidth ratio ~3.5x
+
+    def test_roofline_flat_tail(self):
+        """GFLOPS saturates with size — the red dashed trend of Fig 9a."""
+        model = CostModel(A100)
+        gflops = []
+        for scale in (1, 4, 16, 64, 256, 1024):
+            n = 2000 * scale
+            inputs = make_inputs(
+                useful_flops=2.0 * n,
+                stored_elements=n,
+                format_bytes=8.0 * n,
+                gather_bytes=1.0 * n,
+                y_bytes=0.4 * n,
+                n_threads=max(64, n // 8),
+                n_warps=max(2, n // 256),
+                n_blocks=max(1, n // 1024),
+                warp_lockstep_elements=float(n),
+                max_block_elements=float(n) / max(1, n // 1024),
+                mean_block_elements=float(n) / max(1, n // 1024),
+            )
+            gflops.append(model.evaluate(inputs).gflops)
+        assert all(a <= b * 1.05 for a, b in zip(gflops, gflops[1:]))  # rising
+        assert gflops[-1] < gflops[-2] * 1.3  # and flattening
+
+    def test_breakdown_dict_complete(self):
+        out = CostModel(A100).evaluate(make_inputs())
+        d = out.as_dict()
+        assert d["total_s"] == out.total_s
+        assert set(d) >= {"memory_s", "compute_s", "reduction_s", "atomic_s", "gflops"}

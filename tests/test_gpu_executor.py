@@ -1,0 +1,266 @@
+"""Executor tests: functional correctness and reduction-chain semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.arch import A100
+from repro.gpu.executor import (
+    ExecutionPlan,
+    PlanValidationError,
+    ReductionStep,
+    execute,
+    plan_cost_inputs,
+    validate_plan,
+)
+from repro.sparse.matrix import SparseMatrix
+
+
+def row_per_thread_plan(matrix: SparseMatrix, steps=None, tpb=128) -> ExecutionPlan:
+    """CSR-scalar-shaped plan used across the tests."""
+    steps = steps or (
+        ReductionStep("thread", "THREAD_TOTAL_RED"),
+        ReductionStep("global", "GMEM_DIRECT_STORE"),
+    )
+    return ExecutionPlan(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        useful_nnz=matrix.nnz,
+        values=matrix.vals.copy(),
+        col_indices=matrix.cols.copy(),
+        out_rows=matrix.rows.copy(),
+        thread_of_nz=matrix.rows.copy(),
+        n_threads=matrix.n_rows,
+        threads_per_block=tpb,
+        reduction_steps=tuple(steps),
+    )
+
+
+class TestReductionStep:
+    def test_valid_steps(self):
+        ReductionStep("warp", "WARP_SEG_RED")
+        ReductionStep("global", "GMEM_ATOM_RED")
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            ReductionStep("grid", "GMEM_ATOM_RED")
+
+    def test_strategy_level_mismatch(self):
+        with pytest.raises(ValueError):
+            ReductionStep("thread", "WARP_TOTAL_RED")
+
+
+class TestPlanConstruction:
+    def test_mismatched_arrays_rejected(self, small_regular):
+        plan = row_per_thread_plan(small_regular)
+        with pytest.raises(ValueError):
+            ExecutionPlan(
+                n_rows=plan.n_rows,
+                n_cols=plan.n_cols,
+                useful_nnz=plan.useful_nnz,
+                values=plan.values,
+                col_indices=plan.col_indices[:-1],
+                out_rows=plan.out_rows,
+                thread_of_nz=plan.thread_of_nz,
+                n_threads=plan.n_threads,
+                threads_per_block=128,
+                reduction_steps=plan.reduction_steps,
+            )
+
+    def test_chain_must_end_global(self, small_regular):
+        with pytest.raises(ValueError):
+            row_per_thread_plan(
+                small_regular, steps=(ReductionStep("thread", "THREAD_TOTAL_RED"),)
+            )
+
+    def test_geometry(self, small_regular):
+        plan = row_per_thread_plan(small_regular, tpb=64)
+        assert plan.n_warps == (plan.n_threads + 31) // 32
+        assert plan.n_blocks == (plan.n_threads + 63) // 64
+
+
+class TestFunctionalExecution:
+    def test_correct_result(self, any_small_matrix, x_for):
+        plan = row_per_thread_plan(any_small_matrix)
+        x = x_for(any_small_matrix)
+        res = execute(plan, x, A100)
+        np.testing.assert_allclose(
+            res.y, any_small_matrix.spmv_reference(x), rtol=1e-12
+        )
+
+    def test_padding_ignored(self, tiny_matrix):
+        # Append padding elements: value 0, row/col of the last element.
+        pad = 3
+        values = np.r_[tiny_matrix.vals, np.zeros(pad)]
+        cols = np.r_[tiny_matrix.cols, np.zeros(pad, dtype=np.int64)]
+        out_rows = np.r_[tiny_matrix.rows, np.full(pad, -1, dtype=np.int64)]
+        threads = np.r_[tiny_matrix.rows, np.zeros(pad, dtype=np.int64)]
+        plan = ExecutionPlan(
+            n_rows=4, n_cols=4, useful_nnz=tiny_matrix.nnz,
+            values=values, col_indices=cols, out_rows=out_rows,
+            thread_of_nz=threads, n_threads=4, threads_per_block=32,
+            reduction_steps=(ReductionStep("global", "GMEM_ATOM_RED"),),
+        )
+        x = np.arange(4, dtype=np.float64)
+        res = execute(plan, x, A100)
+        np.testing.assert_allclose(res.y, tiny_matrix.spmv_reference(x))
+
+    def test_x_shape_checked(self, tiny_matrix):
+        plan = row_per_thread_plan(tiny_matrix)
+        with pytest.raises(ValueError):
+            execute(plan, np.zeros(7), A100)
+
+    def test_result_carries_cost(self, small_regular, x_for):
+        plan = row_per_thread_plan(small_regular)
+        res = execute(plan, x_for(small_regular), A100)
+        assert res.time_s > 0
+        assert res.gflops > 0
+        assert res.inputs.stored_elements == small_regular.nnz
+
+
+class TestReductionSemantics:
+    def test_thread_total_requires_single_row(self, tiny_matrix):
+        # Assign two rows to one thread -> THREAD_TOTAL_RED invalid.
+        plan = row_per_thread_plan(tiny_matrix)
+        plan.thread_of_nz = np.zeros(tiny_matrix.nnz, dtype=np.int64)
+        with pytest.raises(PlanValidationError, match="THREAD_TOTAL_RED"):
+            validate_plan(plan)
+
+    def test_warp_total_requires_single_row_per_warp(self, tiny_matrix):
+        plan = row_per_thread_plan(
+            tiny_matrix,
+            steps=(
+                ReductionStep("warp", "WARP_TOTAL_RED"),
+                ReductionStep("global", "GMEM_DIRECT_STORE"),
+            ),
+        )
+        # 4 rows across threads 0-3 share warp 0 -> invalid.
+        with pytest.raises(PlanValidationError, match="WARP_TOTAL_RED"):
+            validate_plan(plan)
+
+    def test_warp_seg_handles_multi_row_warps(self, tiny_matrix):
+        plan = row_per_thread_plan(
+            tiny_matrix,
+            steps=(
+                ReductionStep("warp", "WARP_SEG_RED"),
+                ReductionStep("global", "GMEM_DIRECT_STORE"),
+            ),
+        )
+        validate_plan(plan)  # must not raise
+
+    def test_direct_store_requires_single_writer(self, tiny_matrix):
+        # Split row 0's two elements across two threads without any merging
+        # reduction: two final partials hit row 0.
+        plan = row_per_thread_plan(
+            tiny_matrix,
+            steps=(ReductionStep("global", "GMEM_DIRECT_STORE"),),
+        )
+        plan.thread_of_nz = np.arange(tiny_matrix.nnz, dtype=np.int64)
+        plan.n_threads = tiny_matrix.nnz
+        with pytest.raises(PlanValidationError, match="GMEM_DIRECT_STORE"):
+            validate_plan(plan)
+
+    def test_atomic_accepts_multi_writer(self, tiny_matrix):
+        plan = row_per_thread_plan(
+            tiny_matrix, steps=(ReductionStep("global", "GMEM_ATOM_RED"),)
+        )
+        plan.thread_of_nz = np.arange(tiny_matrix.nnz, dtype=np.int64)
+        plan.n_threads = tiny_matrix.nnz
+        validate_plan(plan)
+
+    def test_shmem_total_requires_single_row_block(self, tiny_matrix):
+        plan = row_per_thread_plan(
+            tiny_matrix,
+            steps=(
+                ReductionStep("block", "SHMEM_TOTAL_RED"),
+                ReductionStep("global", "GMEM_DIRECT_STORE"),
+            ),
+            tpb=32,
+        )
+        with pytest.raises(PlanValidationError, match="SHMEM_TOTAL_RED"):
+            validate_plan(plan)
+
+    def test_block_after_warp_regroups_correctly(self, small_regular, x_for):
+        """warp then block steps: granularity tracking must not corrupt."""
+        m = small_regular
+        plan = ExecutionPlan(
+            n_rows=m.n_rows, n_cols=m.n_cols, useful_nnz=m.nnz,
+            values=m.vals.copy(), col_indices=m.cols.copy(),
+            out_rows=m.rows.copy(), thread_of_nz=m.rows.copy(),
+            n_threads=m.n_rows, threads_per_block=128,
+            reduction_steps=(
+                ReductionStep("thread", "THREAD_TOTAL_RED"),
+                ReductionStep("warp", "WARP_BITMAP_RED"),
+                ReductionStep("block", "SHMEM_OFFSET_RED"),
+                ReductionStep("global", "GMEM_DIRECT_STORE"),
+            ),
+        )
+        x = x_for(m)
+        res = execute(plan, x, A100)
+        np.testing.assert_allclose(res.y, m.spmv_reference(x), rtol=1e-12)
+
+
+class TestCostInputs:
+    def test_atomics_counted(self, tiny_matrix):
+        plan = row_per_thread_plan(
+            tiny_matrix, steps=(ReductionStep("global", "GMEM_ATOM_RED"),)
+        )
+        inputs = plan_cost_inputs(plan, A100)
+        # No merging reduction before global: every element is flushed
+        # individually (pure COO atomic kernel semantics).
+        assert inputs.atomic_ops == tiny_matrix.nnz
+        assert inputs.max_atomics_per_row == 2  # row 0 has two elements
+
+    def test_interleaved_coalescing(self, small_regular):
+        chunked = row_per_thread_plan(small_regular)
+        interleaved = row_per_thread_plan(small_regular)
+        interleaved.interleaved = True
+        ci = plan_cost_inputs(chunked, A100)
+        ii = plan_cost_inputs(interleaved, A100)
+        assert ii.coalescing == 1.0
+        assert ci.coalescing < 1.0  # avg 7 nnz per thread, strided
+
+    def test_storage_run_length_override(self, small_regular):
+        plan = row_per_thread_plan(small_regular)
+        plan.storage_run_length = 1.0
+        inputs = plan_cost_inputs(plan, A100)
+        assert inputs.coalescing == 1.0
+
+    def test_divergence_from_imbalanced_threads(self, small_irregular):
+        plan = row_per_thread_plan(small_irregular)
+        inputs = plan_cost_inputs(plan, A100)
+        assert inputs.warp_lockstep_elements > inputs.stored_elements
+
+
+# ---------------------------------------------------------------------------
+# Property-based: arbitrary work assignments stay functionally correct
+# ---------------------------------------------------------------------------
+
+@given(
+    n_rows=st.integers(2, 12),
+    n_cols=st.integers(2, 12),
+    nnz=st.integers(1, 40),
+    n_threads=st.integers(1, 16),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_any_assignment_correct(n_rows, n_cols, nnz, n_threads, seed):
+    rng = np.random.default_rng(seed)
+    m = SparseMatrix(
+        n_rows,
+        n_cols,
+        rng.integers(0, n_rows, nnz),
+        rng.integers(0, n_cols, nnz),
+        rng.random(nnz) + 0.5,
+    )
+    threads = np.sort(rng.integers(0, n_threads, m.nnz))
+    plan = ExecutionPlan(
+        n_rows=n_rows, n_cols=n_cols, useful_nnz=m.nnz,
+        values=m.vals.copy(), col_indices=m.cols.copy(),
+        out_rows=m.rows.copy(), thread_of_nz=threads,
+        n_threads=n_threads, threads_per_block=32,
+        reduction_steps=(ReductionStep("global", "GMEM_ATOM_RED"),),
+    )
+    x = rng.random(n_cols)
+    res = execute(plan, x, A100)
+    np.testing.assert_allclose(res.y, m.spmv_reference(x), rtol=1e-10, atol=1e-12)

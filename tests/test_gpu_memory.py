@@ -1,0 +1,89 @@
+"""Memory-model estimator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.arch import A100, RTX2080
+from repro.gpu.memory import (
+    VALUE_BYTES,
+    coalescing_efficiency,
+    gather_traffic_bytes,
+    l2_bandwidth_boost,
+    unique_column_count,
+)
+
+
+class TestCoalescing:
+    def test_interleaved_always_full(self):
+        for run in (1, 4, 100):
+            assert coalescing_efficiency(run, interleaved=True) == 1.0
+
+    def test_unit_run_full(self):
+        assert coalescing_efficiency(1.0, interleaved=False) == 1.0
+
+    def test_monotone_decreasing_in_run_length(self):
+        effs = [coalescing_efficiency(r, False) for r in (1, 2, 4, 8, 16, 64)]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_floor(self):
+        assert coalescing_efficiency(1e6, False) == pytest.approx(0.25)
+
+    @given(st.floats(0.1, 1e5))
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded(self, run):
+        e = coalescing_efficiency(run, False)
+        assert 0.25 <= e <= 1.0
+
+
+class TestGatherTraffic:
+    def test_zero_nnz(self):
+        assert gather_traffic_bytes(0, 0, 100, A100) == 0.0
+
+    def test_at_least_first_touches(self):
+        traffic = gather_traffic_bytes(1000, 500, 10_000, A100)
+        assert traffic >= 500 * VALUE_BYTES
+
+    def test_l2_resident_x_free_repeats(self):
+        small = gather_traffic_bytes(100_000, 1000, 1000, A100)
+        # x fits easily in L2: repeats are free, only first touches paid.
+        assert small <= 1000 * 8 + 1
+
+    def test_large_x_pays_repeats(self):
+        n_cols = 100 * 1024 * 1024 // VALUE_BYTES  # 100 MB of x >> 40 MB L2
+        big = gather_traffic_bytes(1_000_000, 900_000, n_cols, A100)
+        resident = gather_traffic_bytes(1_000_000, 900_000, 100_000, A100)
+        assert big > resident
+
+    def test_smaller_l2_pays_more(self):
+        n_cols = 3 * 1024 * 1024 // VALUE_BYTES  # 3 MB x: fits A100, not 2080
+        a = gather_traffic_bytes(500_000, 400_000, n_cols, A100)
+        t = gather_traffic_bytes(500_000, 400_000, n_cols, RTX2080)
+        assert t > a
+
+
+class TestL2Boost:
+    def test_fits_gets_full_boost(self):
+        boost = l2_bandwidth_boost(1024, A100)
+        assert boost == pytest.approx(A100.l2_bandwidth_gbps / A100.dram_bandwidth_gbps)
+
+    def test_overflow_no_boost(self):
+        assert l2_bandwidth_boost(10 * A100.l2_cache_bytes, A100) == 1.0
+
+    def test_ramp_monotone(self):
+        sizes = np.linspace(0.1, 3.0, 20) * A100.l2_cache_bytes
+        boosts = [l2_bandwidth_boost(s, A100) for s in sizes]
+        assert all(a >= b for a, b in zip(boosts, boosts[1:]))
+        assert min(boosts) >= 1.0
+
+
+class TestUniqueColumns:
+    def test_counts_distinct(self):
+        assert unique_column_count(np.array([1, 1, 2, 5, 5, 5])) == 3
+
+    def test_ignores_padding(self):
+        assert unique_column_count(np.array([-1, -1, 3])) == 1
+
+    def test_empty(self):
+        assert unique_column_count(np.array([], dtype=np.int64)) == 0
+        assert unique_column_count(np.array([-1])) == 0

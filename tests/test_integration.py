@@ -1,0 +1,97 @@
+"""End-to-end integration and property tests across the whole pipeline.
+
+The central invariant: *every* statically valid Operator Graph that survives
+design + build must compute exactly ``A @ x``.  The structure sampler is the
+adversary here — whatever it can propose, the generated program must either
+be rejected with a typed error or produce correct numbers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.designer import DesignError
+from repro.core.graph import OperatorGraph
+from repro.core.kernel.builder import BuildError, build_program
+from repro.gpu import A100, RTX2080
+from repro.gpu.executor import PlanValidationError
+from repro.search.space import StructureSampler, enumerate_param_grid, graph_with_params
+from repro.sparse import lp_like_matrix, power_law_matrix
+
+
+MATRIX = power_law_matrix(700, avg_degree=7, seed=99, name="integration")
+X = np.random.default_rng(123).random(MATRIX.n_cols)
+REFERENCE = MATRIX.spmv_reference(X)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_property_sampled_graphs_correct_or_rejected(seed):
+    sampler = StructureSampler(seed=seed)
+    proposal = sampler.sample()
+    assignments = enumerate_param_grid(
+        proposal.graph, proposal.locks, cap=2,
+        rng=np.random.default_rng(seed),
+    )
+    graph = graph_with_params(proposal.graph, assignments[-1], proposal.locks)
+    try:
+        program = build_program(MATRIX, graph)
+        result = program.run(X, A100)
+    except (DesignError, BuildError, PlanValidationError):
+        return  # typed rejection is an acceptable outcome
+    np.testing.assert_allclose(result.y, REFERENCE, rtol=1e-9, atol=1e-9)
+    assert result.total_time_s > 0
+    assert result.gflops > 0
+
+
+class TestCrossGpuConsistency:
+    def test_same_numbers_different_time(self):
+        graph = OperatorGraph.from_names(
+            ["COMPRESS", ("BMW_ROW_BLOCK", {"rows_per_block": 1}),
+             "WARP_TOTAL_RED", "GMEM_DIRECT_STORE"]
+        )
+        program = build_program(MATRIX, graph)
+        res_a = program.run(X, A100)
+        res_t = program.run(X, RTX2080)
+        np.testing.assert_array_equal(res_a.y, res_t.y)
+        assert res_a.total_time_s < res_t.total_time_s
+
+
+class TestSearchBeatsNaive:
+    def test_search_beats_coo(self):
+        from repro.baselines import get_baseline
+        from repro.search import SearchBudget, SearchEngine
+
+        m = lp_like_matrix(900, seed=17, name="beats_coo")
+        res = SearchEngine(
+            A100,
+            budget=SearchBudget(max_structures=6, coarse_evals_per_structure=4,
+                                max_total_evals=30),
+            seed=0,
+        ).search(m)
+        coo = get_baseline("COO").measure(m, A100)
+        assert res.best_gflops > coo.gflops
+
+
+class TestFullArtifactFlow:
+    def test_search_export_reload_run(self, tmp_path):
+        """The user story: search, export the artifact, reload the graph,
+        rebuild the program elsewhere, get identical numbers."""
+        from repro.export import export_program, load_exported_graph
+        from repro.search import SearchBudget, SearchEngine
+
+        m = lp_like_matrix(600, seed=5, name="artifact_flow")
+        res = SearchEngine(
+            A100,
+            budget=SearchBudget(max_structures=5, coarse_evals_per_structure=4,
+                                max_total_evals=24),
+            seed=9,
+        ).search(m)
+        export_program(res.best_program, tmp_path / "out", res.best_graph)
+        graph = load_exported_graph(tmp_path / "out")
+        rebuilt = build_program(m, graph)
+        x = np.random.default_rng(1).random(m.n_cols)
+        a = res.best_program.run(x, A100)
+        b = rebuilt.run(x, A100)
+        np.testing.assert_allclose(a.y, b.y)
+        assert b.gflops == pytest.approx(a.gflops, rel=1e-9)

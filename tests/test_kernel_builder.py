@@ -1,0 +1,162 @@
+"""Kernel builder tests: thread distribution, launch geometry, limits."""
+
+import numpy as np
+import pytest
+
+from repro.core.designer import Designer
+from repro.core.format import build_format
+from repro.core.graph import OperatorGraph
+from repro.core.kernel.builder import BuildError, KernelBuilder, build_program
+from repro.gpu import A100
+
+
+def plan_for(matrix, ops):
+    leaf = Designer().design(matrix, OperatorGraph.from_names(ops))[0]
+    builder = KernelBuilder()
+    fmt = build_format(leaf.meta)
+    return builder.build_plan(leaf.meta, fmt), leaf.meta
+
+
+class TestDistribution:
+    def test_bmt_only(self, small_regular):
+        plan, meta = plan_for(
+            small_regular,
+            ["COMPRESS", "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"],
+        )
+        assert plan.n_threads == small_regular.n_rows
+        # one thread per row: thread id == current row id
+        np.testing.assert_array_equal(plan.thread_of_nz, meta.elem_row)
+        assert plan.storage_run_length == pytest.approx(
+            small_regular.nnz / small_regular.n_rows, rel=0.1
+        )
+
+    def test_bmt_in_bmtb(self, small_regular):
+        plan, meta = plan_for(
+            small_regular,
+            ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 48}),
+             "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "GMEM_ATOM_RED"],
+        )
+        # 48 bmts per bmtb rounded up to warp multiple
+        assert plan.threads_per_block == 64
+        n_bmtb = meta.n_blocks("bmtb")
+        assert plan.n_threads == n_bmtb * 64
+
+    def test_bmw_round_robin(self, small_regular):
+        plan, meta = plan_for(
+            small_regular,
+            ["COMPRESS", ("BMW_ROW_BLOCK", {"rows_per_block": 1}),
+             "WARP_TOTAL_RED", "GMEM_DIRECT_STORE"],
+        )
+        assert plan.n_threads == small_regular.n_rows * 32
+        assert plan.storage_run_length == 1.0  # coalesced round-robin
+        # consecutive elements of one warp land on consecutive lanes
+        bmw = meta.blocks_of("bmw")
+        first_warp = plan.thread_of_nz[bmw == 0]
+        assert (np.diff(first_warp[:min(5, first_warp.size)]) == 1).all()
+
+    def test_bmt_in_bmw(self, small_regular):
+        plan, _ = plan_for(
+            small_regular,
+            ["COMPRESS", ("BMW_NNZ_BLOCK", {"nnz_per_block": 64}),
+             ("BMT_NNZ_BLOCK", {"nnz_per_block": 2}),
+             "THREAD_BITMAP_RED", "WARP_SEG_RED", "GMEM_ATOM_RED"],
+        )
+        assert plan.n_threads % 32 == 0
+
+    def test_bmtb_only_round_robin(self, small_regular):
+        plan, meta = plan_for(
+            small_regular,
+            ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+             ("SET_RESOURCES", {"threads_per_block": 64}),
+             "SHMEM_OFFSET_RED", "GMEM_DIRECT_STORE"],
+        )
+        assert plan.threads_per_block == 64
+        assert plan.n_threads == meta.n_blocks("bmtb") * 64
+        assert plan.storage_run_length == 1.0
+
+    def test_unmapped_grid_stride(self, small_regular):
+        plan, _ = plan_for(
+            small_regular,
+            ["COMPRESS", ("SET_RESOURCES", {"work_per_thread": 2}),
+             "GMEM_ATOM_RED"],
+        )
+        expected_grid = (small_regular.nnz + 1) // 2
+        assert abs(plan.n_threads - expected_grid) < 32  # warp rounding
+        assert plan.storage_run_length == 1.0
+
+
+class TestLimits:
+    def test_tpb_limit_enforced(self):
+        from repro.sparse import banded_matrix
+
+        big = banded_matrix(2048, bandwidth=2, seed=0)
+        with pytest.raises(BuildError, match="1024"):
+            plan_for(
+                big,
+                ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 2048}),
+                 "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "GMEM_ATOM_RED"],
+            )
+
+    def test_warp_overflow_rejected(self, small_regular):
+        # 64 BMTs per BMW > 32 lanes.
+        with pytest.raises(BuildError, match="32"):
+            plan_for(
+                small_regular,
+                ["COMPRESS", ("BMW_ROW_BLOCK", {"rows_per_block": 16}),
+                 ("BMT_NNZ_BLOCK", {"nnz_per_block": 1}),
+                 "THREAD_BITMAP_RED", "GMEM_ATOM_RED"],
+            )
+
+    def test_missing_global_reduction_rejected(self, small_regular):
+        leaf = Designer().design(
+            small_regular,
+            OperatorGraph.from_names(
+                ["COMPRESS", "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "GMEM_ATOM_RED"]
+            ),
+        )[0]
+        leaf.meta.reduction_steps.clear()
+        builder = KernelBuilder()
+        fmt = build_format(leaf.meta)
+        with pytest.raises(BuildError):
+            builder.build_plan(leaf.meta, fmt)
+
+
+class TestBuildProgram:
+    def test_end_to_end_correct(self, any_small_matrix, x_for):
+        g = OperatorGraph.from_names(
+            ["SORT", "COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+             "BMT_ROW_BLOCK", ("BMT_PAD", {"mode": "max"}),
+             "INTERLEAVED_STORAGE", "THREAD_TOTAL_RED", "GMEM_ATOM_RED"]
+        )
+        prog = build_program(any_small_matrix, g)
+        x = x_for(any_small_matrix)
+        res = prog.run(x, A100)
+        np.testing.assert_allclose(
+            res.y, any_small_matrix.spmv_reference(x), rtol=1e-9, atol=1e-9
+        )
+
+    def test_compress_flag_changes_bytes(self, small_regular):
+        g = OperatorGraph.from_names(
+            ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+             "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"]
+        )
+        with_opt = build_program(small_regular, g, compress=True)
+        without = build_program(small_regular, g, compress=False)
+        assert with_opt.format_bytes < without.format_bytes
+
+    def test_branching_builds_multiple_kernels(self, small_irregular):
+        g = OperatorGraph.from_names(
+            [("ROW_DIV", {"strategy": "equal", "parts": 2}),
+             "COMPRESS", "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "GMEM_ATOM_RED"]
+        )
+        prog = build_program(small_irregular, g)
+        assert prog.n_kernels == 2
+
+    def test_program_metadata(self, small_regular):
+        g = OperatorGraph.from_names(
+            ["COMPRESS", "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"]
+        )
+        prog = build_program(small_regular, g)
+        assert prog.matrix_name == small_regular.name
+        assert prog.useful_nnz == small_regular.nnz
+        assert "BMT_ROW_BLOCK" in prog.describe()

@@ -1,0 +1,134 @@
+"""Code generation tests: skeleton, fragments, adapters, compression inlining."""
+
+import pytest
+
+from repro.core.designer import Designer
+from repro.core.graph import OperatorGraph
+from repro.core.kernel.builder import build_program
+from repro.core.kernel.fragments import (
+    REDUCTION_OUTPUT_SPACE,
+    adapter_between,
+    get_meta_fragment,
+    reduction_fragment,
+)
+from repro.core.kernel.skeleton import KernelSkeleton, LoopLevel
+
+
+class TestSkeleton:
+    def test_nested_loops_render(self):
+        sk = KernelSkeleton(
+            kernel_name="k",
+            args=["float* y"],
+            loops=[
+                LoopLevel("BMTB", "for (int b = 0; b < nb; ++b)",
+                          get_meta=["int o = off[b];"]),
+                LoopLevel("BMT", "for (int t = 0; t < nt; ++t)",
+                          body=["acc += v[t];"],
+                          reduction=["y[t] = acc;"]),
+            ],
+        )
+        text = sk.render()
+        assert "__global__ void k(float* y)" in text
+        # nesting: BMT loop indented deeper than BMTB loop
+        lines = text.splitlines()
+        bmtb_line = next(l for l in lines if "loop over BMTBs" in l)
+        bmt_line = next(l for l in lines if "loop over BMTs" in l)
+        assert len(bmt_line) - len(bmt_line.lstrip()) > len(bmtb_line) - len(bmtb_line.lstrip())
+        assert text.count("{") == text.count("}")
+
+
+class TestFragments:
+    def test_every_strategy_has_fragment(self):
+        for strategy in [
+            "THREAD_TOTAL_RED", "THREAD_BITMAP_RED", "WARP_TOTAL_RED",
+            "WARP_BITMAP_RED", "WARP_SEG_RED", "SHMEM_OFFSET_RED",
+            "SHMEM_TOTAL_RED", "GMEM_ATOM_RED", "GMEM_DIRECT_STORE",
+        ]:
+            frag = reduction_fragment(strategy)
+            assert frag and strategy in frag[0]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            reduction_fragment("NOPE")
+
+    def test_adapter_register_to_shared(self):
+        frag = adapter_between("THREAD_TOTAL_RED", "SHMEM_OFFSET_RED")
+        assert any("Adapter" in line for line in frag)
+        assert any("shmem" in line for line in frag)
+
+    def test_no_adapter_for_matching_spaces(self):
+        assert adapter_between("THREAD_TOTAL_RED", "WARP_TOTAL_RED") == []
+        assert adapter_between("SHMEM_OFFSET_RED", "GMEM_ATOM_RED") == []
+
+    def test_output_spaces_known(self):
+        assert REDUCTION_OUTPUT_SPACE["THREAD_TOTAL_RED"] == "register"
+        assert REDUCTION_OUTPUT_SPACE["SHMEM_TOTAL_RED"] == "shared"
+
+    def test_get_meta_fragment(self):
+        frag = get_meta_fragment("bmtb", ["bmtb_nz_offsets"])
+        assert "get meta of BMTB" in frag[0]
+        assert "bmtb_nz_offsets[bmtb_id]" in frag[1]
+
+
+class TestGeneratedSource:
+    def test_loops_match_mapping(self, small_regular):
+        g = OperatorGraph.from_names(
+            ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+             "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "GMEM_ATOM_RED"]
+        )
+        src = build_program(small_regular, g).source()
+        assert "loop over BMTBs" in src
+        assert "loop over BMTs" in src
+        assert "loop over BMWs" not in src
+
+    def test_reduction_fragments_present(self, small_regular):
+        g = OperatorGraph.from_names(
+            ["COMPRESS", ("BMW_ROW_BLOCK", {"rows_per_block": 1}),
+             "WARP_TOTAL_RED", "GMEM_DIRECT_STORE"]
+        )
+        src = build_program(small_regular, g).source()
+        assert "__shfl_down_sync" in src
+        assert "WARP_TOTAL_RED" in src
+
+    def test_adapter_emitted_between_register_and_shared(self, small_regular):
+        g = OperatorGraph.from_names(
+            ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+             "BMT_ROW_BLOCK", "THREAD_TOTAL_RED", "SHMEM_OFFSET_RED",
+             "GMEM_DIRECT_STORE"]
+        )
+        src = build_program(small_regular, g).source()
+        assert "Adapter" in src
+
+    def test_compressed_arrays_inlined(self, small_regular):
+        g = OperatorGraph.from_names(
+            ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+             "SHMEM_OFFSET_RED", "GMEM_DIRECT_STORE"]
+        )
+        src = build_program(small_regular, g, compress=True).source()
+        assert "Model-Driven Compression eliminated" in src
+        # compressed arrays must not appear as kernel arguments
+        header = src.splitlines()[0]
+        assert "bmtb_row_offsets" not in header
+
+    def test_uncompressed_arrays_are_arguments(self, small_regular):
+        g = OperatorGraph.from_names(
+            ["COMPRESS", ("BMTB_ROW_BLOCK", {"rows_per_block": 32}),
+             "SHMEM_OFFSET_RED", "GMEM_DIRECT_STORE"]
+        )
+        src = build_program(small_regular, g, compress=False).source()
+        header = src.splitlines()[0]
+        assert "bmtb_nz_offsets" in header
+
+    def test_coo_grid_stride_source(self, small_regular):
+        g = OperatorGraph.from_names(["COMPRESS", "SET_RESOURCES", "GMEM_ATOM_RED"])
+        src = build_program(small_regular, g).source()
+        assert "nz += total_threads()" in src
+        assert "atomicAdd" in src
+
+    def test_operator_provenance_comment(self, small_regular):
+        g = OperatorGraph.from_names(
+            ["SORT", "COMPRESS", "BMT_ROW_BLOCK", "THREAD_TOTAL_RED",
+             "GMEM_DIRECT_STORE"]
+        )
+        src = build_program(small_regular, g).source()
+        assert "SORT -> COMPRESS -> BMT_ROW_BLOCK" in src

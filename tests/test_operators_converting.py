@@ -1,0 +1,161 @@
+"""Converting-stage operator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.metadata import MatrixMetadataSet
+from repro.core.operators import OperatorError, get_operator
+from repro.sparse.matrix import SparseMatrix
+
+
+def meta_for(matrix):
+    return MatrixMetadataSet.from_matrix(matrix)
+
+
+def apply_op(meta, name, **params):
+    op = get_operator(name)
+    resolved = op.resolve_params(params)
+    op.check(meta, resolved)
+    op.apply(meta, resolved)
+    meta.check_invariants()
+    return meta
+
+
+class TestCompress:
+    def test_marks_compressed(self, tiny_matrix):
+        meta = apply_op(meta_for(tiny_matrix), "COMPRESS")
+        assert meta.compressed
+
+    def test_drops_explicit_zeros(self):
+        m = SparseMatrix(2, 2, [0, 0, 1], [0, 1, 1], [1.0, 0.0, 2.0])
+        meta = apply_op(meta_for(m), "COMPRESS")
+        assert meta.stored_elements == 2
+        assert meta.useful_nnz == 2
+
+    def test_double_compress_rejected(self, tiny_matrix):
+        meta = apply_op(meta_for(tiny_matrix), "COMPRESS")
+        op = get_operator("COMPRESS")
+        with pytest.raises(OperatorError):
+            op.check(meta, {})
+
+    def test_row_major_order(self, small_irregular):
+        meta = apply_op(meta_for(small_irregular), "COMPRESS")
+        keys = meta.elem_row * small_irregular.n_cols + meta.elem_col
+        assert (np.diff(keys) > 0).all()
+
+
+class TestSort:
+    def test_rows_by_decreasing_length(self, small_irregular):
+        meta = apply_op(meta_for(small_irregular), "SORT")
+        lengths = np.bincount(meta.elem_row, minlength=meta.n_rows)
+        assert (np.diff(lengths) <= 0).all()
+
+    def test_origin_rows_invertible(self, small_irregular, x_for):
+        meta = apply_op(meta_for(small_irregular), "SORT")
+        # Reconstruct SpMV through the permutation: must equal reference.
+        x = x_for(small_irregular)
+        products = meta.elem_val * x[meta.elem_col]
+        y = np.zeros(small_irregular.n_rows)
+        np.add.at(y, meta.origin_rows[meta.elem_row], products)
+        np.testing.assert_allclose(y, small_irregular.spmv_reference(x))
+
+    def test_stable_for_ties(self):
+        m = SparseMatrix(3, 3, [0, 1, 2], [0, 1, 2])
+        meta = apply_op(meta_for(m), "SORT")
+        np.testing.assert_array_equal(meta.origin_rows, [0, 1, 2])
+
+
+class TestSortSub:
+    def test_sorts_within_chunks_only(self, small_irregular):
+        chunk = 64
+        meta = apply_op(meta_for(small_irregular), "SORT_SUB", chunk_rows=chunk)
+        lengths = np.bincount(meta.elem_row, minlength=meta.n_rows)
+        for start in range(0, meta.n_rows, chunk):
+            part = lengths[start : start + chunk]
+            assert (np.diff(part) <= 0).all()
+        # Rows stay within their chunk.
+        for start in range(0, meta.n_rows, chunk):
+            stop = min(start + chunk, meta.n_rows)
+            origins = meta.origin_rows[start:stop]
+            assert origins.min() >= start and origins.max() < stop
+
+    def test_invalid_chunk(self, tiny_matrix):
+        op = get_operator("SORT_SUB")
+        meta = meta_for(tiny_matrix)
+        with pytest.raises(OperatorError):
+            op.apply(meta, {"chunk_rows": 0})
+
+
+class TestRowDiv:
+    def test_equal_partition(self, small_irregular):
+        op = get_operator("ROW_DIV")
+        meta = meta_for(small_irregular)
+        children = op.partition(meta, op.resolve_params({"strategy": "equal", "parts": 4}))
+        assert len(children) == 4
+        assert sum(c.useful_nnz for c in children) == small_irregular.nnz
+        # Origin rows partition the original row set.
+        seen = np.concatenate([c.origin_rows for c in children])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(small_irregular.n_rows))
+
+    def test_len_mutation_on_sorted(self):
+        m = SparseMatrix(
+            6, 40,
+            [0]*30 + [1]*28 + [2, 3, 4, 5],
+            list(range(30)) + list(range(28)) + [0, 1, 2, 3],
+        )
+        op = get_operator("ROW_DIV")
+        meta = meta_for(m)
+        children = op.partition(
+            meta, op.resolve_params({"strategy": "len_mutation", "mutation_factor": 4.0})
+        )
+        assert len(children) >= 2
+
+    def test_no_mutation_single_child(self, small_regular):
+        op = get_operator("ROW_DIV")
+        meta = meta_for(small_regular)
+        children = op.partition(
+            meta, op.resolve_params({"strategy": "len_mutation", "mutation_factor": 1e9})
+        )
+        assert len(children) == 1
+
+    def test_apply_raises(self, tiny_matrix):
+        op = get_operator("ROW_DIV")
+        with pytest.raises(OperatorError):
+            op.apply(meta_for(tiny_matrix), op.default_params())
+
+
+class TestColDiv:
+    def test_partition_preserves_rows(self, small_lp):
+        op = get_operator("COL_DIV")
+        meta = meta_for(small_lp)
+        children = op.partition(meta, op.resolve_params({"parts": 3}))
+        assert all(c.n_rows == small_lp.n_rows for c in children)
+        assert sum(c.useful_nnz for c in children) == small_lp.nnz
+
+    def test_columns_disjoint(self, small_lp):
+        op = get_operator("COL_DIV")
+        meta = meta_for(small_lp)
+        children = op.partition(meta, op.resolve_params({"parts": 2}))
+        c0 = set(children[0].elem_col.tolist())
+        c1 = set(children[1].elem_col.tolist())
+        assert not (c0 & c1)
+
+
+class TestBin:
+    def test_bins_by_length(self, small_irregular):
+        op = get_operator("BIN")
+        meta = meta_for(small_irregular)
+        children = op.partition(meta, op.resolve_params({"n_bins": 2}))
+        assert 1 <= len(children) <= 2
+        assert sum(c.useful_nnz for c in children) == small_irregular.nnz
+        if len(children) == 2:
+            max_short = np.bincount(children[0].elem_row).max()
+            min_long = np.bincount(children[1].elem_row).min()
+            assert max_short <= min_long * 2  # bins ordered by length
+
+    def test_uniform_matrix_single_bin(self, small_regular):
+        op = get_operator("BIN")
+        meta = meta_for(small_regular)
+        children = op.partition(meta, op.resolve_params({"n_bins": 3}))
+        # Banded rows are nearly equal-length; all land in one bin.
+        assert len(children) <= 2

@@ -1,0 +1,125 @@
+"""Implementing-stage operator tests."""
+
+import pytest
+
+from repro.core.metadata import MatrixMetadataSet
+from repro.core.operators import OPERATOR_REGISTRY, OperatorError, Stage, get_operator
+
+
+def compressed(matrix):
+    meta = MatrixMetadataSet.from_matrix(matrix)
+    op = get_operator("COMPRESS")
+    op.apply(meta, {})
+    return meta
+
+
+class TestSetResources:
+    def test_sets_tpb(self, small_regular):
+        meta = compressed(small_regular)
+        op = get_operator("SET_RESOURCES")
+        op.apply(meta, op.resolve_params({"threads_per_block": 512}))
+        assert meta.threads_per_block == 512
+
+    def test_warp_multiple_enforced(self, small_regular):
+        meta = compressed(small_regular)
+        op = get_operator("SET_RESOURCES")
+        with pytest.raises(OperatorError):
+            op.apply(meta, op.resolve_params({"threads_per_block": 100}))
+
+    def test_grid_threads_for_unmapped(self, small_regular):
+        meta = compressed(small_regular)
+        op = get_operator("SET_RESOURCES")
+        op.apply(meta, op.resolve_params({"work_per_thread": 4}))
+        expected = (small_regular.nnz + 3) // 4
+        assert meta.grid_threads == expected
+
+    def test_no_grid_threads_when_mapped(self, small_regular):
+        meta = compressed(small_regular)
+        block = get_operator("BMT_ROW_BLOCK")
+        block.apply(meta, block.resolve_params({"rows_per_block": 1}))
+        op = get_operator("SET_RESOURCES")
+        op.apply(meta, op.resolve_params({"work_per_thread": 4}))
+        assert meta.grid_threads is None
+
+    def test_invalid_work_per_thread(self, small_regular):
+        meta = compressed(small_regular)
+        op = get_operator("SET_RESOURCES")
+        with pytest.raises(OperatorError):
+            op.apply(meta, op.resolve_params({"work_per_thread": 0}))
+
+
+class TestReductionChainRules:
+    def test_appends_steps(self, small_regular):
+        meta = compressed(small_regular)
+        get_operator("THREAD_TOTAL_RED").apply(meta, {})
+        get_operator("WARP_SEG_RED").apply(meta, {})
+        get_operator("GMEM_ATOM_RED").apply(meta, {})
+        assert meta.reduction_steps == [
+            ("thread", "THREAD_TOTAL_RED"),
+            ("warp", "WARP_SEG_RED"),
+            ("global", "GMEM_ATOM_RED"),
+        ]
+
+    def test_level_must_not_decrease(self, small_regular):
+        meta = compressed(small_regular)
+        get_operator("WARP_SEG_RED").apply(meta, {})
+        op = get_operator("THREAD_TOTAL_RED")
+        with pytest.raises(OperatorError, match="non-decreasing"):
+            op.check(meta, {})
+
+    def test_no_duplicate_level(self, small_regular):
+        meta = compressed(small_regular)
+        get_operator("WARP_SEG_RED").apply(meta, {})
+        op = get_operator("WARP_TOTAL_RED")
+        with pytest.raises(OperatorError, match="already exists"):
+            op.check(meta, {})
+
+    def test_nothing_after_global(self, small_regular):
+        meta = compressed(small_regular)
+        get_operator("GMEM_ATOM_RED").apply(meta, {})
+        op = get_operator("GMEM_DIRECT_STORE")
+        with pytest.raises(OperatorError):
+            op.check(meta, {})
+
+    def test_requires_compress(self, small_regular):
+        meta = MatrixMetadataSet.from_matrix(small_regular)
+        op = get_operator("THREAD_TOTAL_RED")
+        with pytest.raises(OperatorError, match="COMPRESS"):
+            op.check(meta, {})
+
+
+class TestRegistryCoverage:
+    def test_all_table2_operators_registered(self):
+        """Table II's operator inventory must be complete."""
+        expected = {
+            # converting
+            "ROW_DIV", "COL_DIV", "SORT", "SORT_SUB", "BIN", "COMPRESS",
+            # mapping
+            "BMTB_ROW_BLOCK", "BMW_ROW_BLOCK", "BMT_ROW_BLOCK",
+            "BMTB_COL_BLOCK", "BMT_COL_BLOCK",
+            "BMTB_NNZ_BLOCK", "BMW_NNZ_BLOCK", "BMT_NNZ_BLOCK",
+            "BMTB_PAD", "BMW_PAD", "BMT_PAD", "BMTB_ROW_PAD",
+            "SORT_BMTB", "INTERLEAVED_STORAGE",
+            # implementing
+            "SET_RESOURCES", "GMEM_ATOM_RED", "GMEM_DIRECT_STORE",
+            "SHMEM_OFFSET_RED", "SHMEM_TOTAL_RED",
+            "WARP_TOTAL_RED", "WARP_BITMAP_RED", "WARP_SEG_RED",
+            "THREAD_TOTAL_RED", "THREAD_BITMAP_RED",
+        }
+        assert expected <= set(OPERATOR_REGISTRY)
+
+    def test_every_operator_has_stage_and_source(self):
+        for name, op in OPERATOR_REGISTRY.items():
+            assert isinstance(op.stage, Stage), name
+            assert op.description, name
+
+    def test_param_specs_well_formed(self):
+        for op in OPERATOR_REGISTRY.values():
+            for spec in op.params:
+                assert set(spec.coarse) <= set(spec.fine)
+                assert spec.default == spec.coarse[0]
+
+    def test_unknown_param_rejected(self):
+        op = get_operator("SET_RESOURCES")
+        with pytest.raises(OperatorError):
+            op.resolve_params({"bogus": 1})

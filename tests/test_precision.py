@@ -1,0 +1,55 @@
+"""Double-precision extension tests.
+
+The paper evaluates single precision (§VII-A); fp64 support is the natural
+library extension.  fp64 kernels must stay numerically identical (the
+functional executor is float64 either way) while the cost model charges
+doubled value traffic and the card's double-precision compute roof.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OperatorGraph, build_program
+from repro.core.kernel.builder import KernelBuilder
+from repro.gpu import A100, RTX2080
+
+GRAPH = OperatorGraph.from_names(
+    ["COMPRESS", ("BMW_ROW_BLOCK", {"rows_per_block": 1}),
+     "WARP_TOTAL_RED", "GMEM_DIRECT_STORE"]
+)
+
+
+class TestPrecision:
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError):
+            KernelBuilder(precision="fp16")
+
+    def test_same_numbers(self, small_regular, x_for):
+        x = x_for(small_regular)
+        y32 = build_program(small_regular, GRAPH, precision="fp32").run(x, A100).y
+        y64 = build_program(small_regular, GRAPH, precision="fp64").run(x, A100).y
+        np.testing.assert_array_equal(y32, y64)
+
+    def test_fp64_moves_more_bytes(self, small_regular, x_for):
+        x = x_for(small_regular)
+        r32 = build_program(small_regular, GRAPH, precision="fp32").run(x, A100)
+        r64 = build_program(small_regular, GRAPH, precision="fp64").run(x, A100)
+        i32, i64 = r32.kernel_results[0].inputs, r64.kernel_results[0].inputs
+        assert i64.value_bytes == 8
+        assert i64.format_bytes > i32.format_bytes
+        assert i64.y_bytes > i32.y_bytes
+        assert r64.total_time_s > r32.total_time_s
+
+    def test_fp64_slower_on_consumer_card(self, small_regular, x_for):
+        """Turing's 1:32 fp64 ratio must show up more than Ampere's 1:2."""
+        x = x_for(small_regular)
+        penalties = {}
+        for gpu in (A100, RTX2080):
+            t32 = build_program(small_regular, GRAPH, precision="fp32").run(x, gpu)
+            t64 = build_program(small_regular, GRAPH, precision="fp64").run(x, gpu)
+            penalties[gpu.name] = t64.total_time_s / t32.total_time_s
+        assert penalties["RTX2080"] >= penalties["A100"]
+
+    def test_fp32_default_unchanged(self, small_regular):
+        prog = build_program(small_regular, GRAPH)
+        assert prog.kernels[0].plan.value_bytes == 4

@@ -1,0 +1,72 @@
+"""Simulated-annealing schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.search.annealing import AnnealingSchedule
+
+
+class TestAcceptance:
+    def test_better_always_accepted(self, rng):
+        sched = AnnealingSchedule()
+        assert sched.accept(10.0, 5.0, rng)
+        assert sched.accept(5.0, 5.0, rng)
+
+    def test_much_worse_rarely_accepted_when_cold(self, rng):
+        sched = AnnealingSchedule(initial_temperature=0.30, cooling=0.5, min_temperature=0.01)
+        for _ in range(50):
+            sched.step(improved=False)
+        accepts = sum(sched.accept(1.0, 100.0, rng) for _ in range(200))
+        assert accepts < 5
+
+    def test_hot_schedule_explores(self, rng):
+        sched = AnnealingSchedule(initial_temperature=5.0)
+        accepts = sum(sched.accept(80.0, 100.0, rng) for _ in range(200))
+        assert accepts > 150
+
+    def test_zero_incumbent_accepts(self, rng):
+        sched = AnnealingSchedule()
+        assert sched.accept(0.0, 0.0, rng)
+
+
+class TestSchedule:
+    def test_cooling_monotone(self):
+        sched = AnnealingSchedule(initial_temperature=1.0, cooling=0.8)
+        temps = []
+        for _ in range(10):
+            temps.append(sched.temperature)
+            sched.step(improved=False)
+        assert all(a >= b for a, b in zip(temps, temps[1:]))
+        assert sched.temperature >= sched.min_temperature
+
+    def test_termination_needs_cold_and_patience(self):
+        sched = AnnealingSchedule(
+            initial_temperature=0.3, cooling=0.5, min_temperature=0.05, patience=3
+        )
+        assert not sched.should_terminate()
+        for _ in range(10):
+            sched.step(improved=False)
+        assert sched.should_terminate()
+
+    def test_improvement_resets_patience(self):
+        sched = AnnealingSchedule(
+            initial_temperature=0.3, cooling=0.5, min_temperature=0.05, patience=3
+        )
+        for _ in range(10):
+            sched.step(improved=False)
+        sched.step(improved=True)
+        assert not sched.should_terminate()
+
+    def test_reset(self):
+        sched = AnnealingSchedule(initial_temperature=1.0)
+        for _ in range(5):
+            sched.step(improved=False)
+        sched.reset()
+        assert sched.temperature == 1.0
+        assert not sched.should_terminate()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingSchedule(cooling=1.5)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(initial_temperature=-1.0)

@@ -1,0 +1,113 @@
+"""Search-engine integration tests (kept small: each search runs programs)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import get_baseline
+from repro.gpu import A100, RTX2080
+from repro.search import SearchBudget, SearchEngine
+from repro.sparse import banded_matrix, power_law_matrix
+
+
+SMALL_BUDGET = SearchBudget(
+    max_structures=8, coarse_evals_per_structure=4, max_total_evals=50, ml_top_k=3
+)
+
+
+@pytest.fixture(scope="module")
+def regular_result():
+    m = banded_matrix(768, bandwidth=4, seed=0, name="search_regular")
+    return m, SearchEngine(A100, budget=SMALL_BUDGET, seed=3).search(m)
+
+
+class TestSearchResult:
+    def test_finds_working_program(self, regular_result, x_for):
+        m, res = regular_result
+        assert res.best_gflops > 0
+        assert res.best_graph is not None
+        x = x_for(m)
+        out = res.best_program.run(x, A100)
+        np.testing.assert_allclose(out.y, m.spmv_reference(x), rtol=1e-9, atol=1e-9)
+
+    def test_history_recorded(self, regular_result):
+        _, res = regular_result
+        assert res.total_evaluations == len(res.history)
+        assert res.coarse_iterations > 0
+        assert any(r.valid for r in res.history)
+        assert res.structures_tried > 0
+        assert res.wall_time_s > 0
+
+    def test_best_is_max_of_history(self, regular_result):
+        _, res = regular_result
+        assert res.best_gflops == pytest.approx(
+            max(r.gflops for r in res.history)
+        )
+
+    def test_archetype_seeding_matches_csr_scalar(self, regular_result):
+        """Seeded archetypes guarantee the search covers the source formats."""
+        m, res = regular_result
+        scalar = get_baseline("CSR-Scalar").measure(m, A100)
+        assert res.best_gflops >= 0.95 * scalar.gflops
+
+    def test_pruning_recorded(self, regular_result):
+        _, res = regular_result
+        assert "BIN" in res.banned_operators  # regular matrix
+
+
+class TestBudgets:
+    def test_eval_cap_respected(self):
+        m = banded_matrix(512, bandwidth=3, seed=1)
+        budget = SearchBudget(max_structures=50, coarse_evals_per_structure=10,
+                              max_total_evals=12)
+        res = SearchEngine(A100, budget=budget, seed=0).search(m)
+        assert res.coarse_iterations <= 12
+
+    def test_time_limit_respected(self):
+        m = banded_matrix(512, bandwidth=3, seed=1)
+        budget = SearchBudget(max_structures=500, coarse_evals_per_structure=10,
+                              max_total_evals=10_000, time_limit_s=0.5)
+        res = SearchEngine(A100, budget=budget, seed=0).search(m)
+        assert res.wall_time_s < 5.0
+
+
+class TestPruningEffect:
+    def test_pruning_shrinks_search(self):
+        """Table III's mechanism: pruning cuts iterations on regular input."""
+        m = banded_matrix(640, bandwidth=4, seed=2)
+        budget = SearchBudget(max_structures=10, coarse_evals_per_structure=4,
+                              max_total_evals=60)
+        pruned = SearchEngine(A100, budget=budget, seed=5).search(m)
+        unpruned = SearchEngine(
+            A100, budget=budget, seed=5, enable_pruning=False
+        ).search(m)
+        assert pruned.banned_operators
+        assert not unpruned.banned_operators
+
+
+class TestCrossGpu:
+    def test_a100_beats_2080(self):
+        m = power_law_matrix(1024, avg_degree=10, seed=4)
+        res_a = SearchEngine(A100, budget=SMALL_BUDGET, seed=1).search(m)
+        res_t = SearchEngine(RTX2080, budget=SMALL_BUDGET, seed=1).search(m)
+        assert res_a.best_gflops > res_t.best_gflops
+        assert res_a.gpu_name == "A100"
+        assert res_t.gpu_name == "RTX2080"
+
+
+class TestSeedingFlag:
+    def test_unseeded_search_still_works(self):
+        m = banded_matrix(512, bandwidth=3, seed=6)
+        res = SearchEngine(
+            A100, budget=SMALL_BUDGET, seed=4, enable_seeding=False
+        ).search(m)
+        assert res.best_gflops > 0
+        assert res.best_program is not None
+
+
+class TestInvalidCandidatesHandled:
+    def test_invalid_candidates_score_zero(self, regular_result):
+        _, res = regular_result
+        for record in res.history:
+            if not record.valid:
+                assert record.gflops == 0.0
+                assert record.error

@@ -1,0 +1,109 @@
+"""Gradient-boosted-tree cost-model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.search.mlmodel import (
+    GradientBoostedTrees,
+    RegressionTree,
+    mean_absolute_deviation,
+)
+
+
+def step_data(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2)) * 10
+    y = np.where(X[:, 0] > 5, 10.0, 2.0) + np.where(X[:, 1] > 3, 1.0, 0.0)
+    return X, y
+
+
+class TestRegressionTree:
+    def test_fits_constant(self):
+        X = np.zeros((10, 1))
+        y = np.full(10, 3.5)
+        tree = RegressionTree().fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), 3.5)
+
+    def test_fits_step_function(self):
+        X, y = step_data()
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        pred = tree.predict(X)
+        assert np.abs(pred - y).mean() < 0.3
+
+    def test_depth_limits_complexity(self):
+        X, y = step_data()
+        shallow = RegressionTree(max_depth=1).fit(X, y).predict(X)
+        deep = RegressionTree(max_depth=4).fit(X, y).predict(X)
+        assert np.abs(deep - y).mean() <= np.abs(shallow - y).mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 1)))
+
+    def test_single_sample(self):
+        tree = RegressionTree().fit(np.array([[1.0]]), np.array([7.0]))
+        assert tree.predict(np.array([[99.0]]))[0] == 7.0
+
+
+class TestGBT:
+    def test_beats_mean_baseline(self):
+        X, y = step_data()
+        model = GradientBoostedTrees(n_estimators=40).fit(X, y)
+        gbt_err = np.abs(model.predict(X) - y).mean()
+        mean_err = np.abs(y.mean() - y).mean()
+        assert gbt_err < 0.3 * mean_err
+
+    def test_interpolation_quality(self):
+        """The paper quotes ~5 % MAD for the cost model on its grids."""
+        rng = np.random.default_rng(3)
+        # smooth-ish performance surface over log-scale params
+        X = rng.random((150, 3)) * 8
+        y = 50 + 20 * np.sin(X[:, 0]) + 5 * X[:, 1] - 3 * (X[:, 2] > 4)
+        model = GradientBoostedTrees(n_estimators=80).fit(X, y)
+        assert mean_absolute_deviation(y, model.predict(X)) < 0.07
+
+    def test_early_stop_on_perfect_fit(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([5.0, 5.0])
+        model = GradientBoostedTrees(n_estimators=50).fit(X, y)
+        assert model.n_trees == 0  # residual zero after the base value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees().fit(np.zeros((0, 1)), np.zeros(0))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_predictions_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.random((30, 2))
+        y = rng.random(30) * 100
+        model = GradientBoostedTrees(n_estimators=10).fit(X, y)
+        pred = model.predict(rng.random((10, 2)))
+        assert np.isfinite(pred).all()
+        assert pred.min() >= y.min() - 50 and pred.max() <= y.max() + 50
+
+
+class TestMAD:
+    def test_zero_for_exact(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_absolute_deviation(y, y) == 0.0
+
+    def test_relative(self):
+        y = np.array([100.0])
+        assert mean_absolute_deviation(y, np.array([95.0])) == pytest.approx(0.05)

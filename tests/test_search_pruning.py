@@ -1,0 +1,60 @@
+"""Pruning-rule tests (paper §VI-B)."""
+
+from repro.search.pruning import PruningRules, default_rules
+from repro.sparse import banded_matrix, power_law_matrix, rows_with_outliers_matrix
+
+
+class TestDefaultRules:
+    def test_regular_bans_irregularity_machinery(self):
+        stats = banded_matrix(1000, bandwidth=5, seed=0).stats
+        banned = default_rules().ban_list(stats)
+        assert "WARP_SEG_RED" in banned
+        assert "BIN" in banned
+        assert "BMT_NNZ_BLOCK" in banned
+
+    def test_irregular_keeps_irregularity_machinery(self):
+        stats = power_law_matrix(3000, avg_degree=8, seed=0).stats
+        banned = default_rules().ban_list(stats)
+        assert "WARP_SEG_RED" not in banned
+        assert "BIN" not in banned
+
+    def test_short_rows_ban_block_reduction(self):
+        stats = banded_matrix(1000, bandwidth=5, seed=0).stats
+        assert "SHMEM_TOTAL_RED" in default_rules().ban_list(stats)
+
+    def test_long_rows_allow_block_reduction(self):
+        stats = rows_with_outliers_matrix(
+            2000, base_len=10, outlier_len=400, seed=0
+        ).stats
+        assert "SHMEM_TOTAL_RED" not in default_rules().ban_list(stats)
+
+    def test_tiny_matrix_bans_division(self):
+        stats = banded_matrix(100, bandwidth=2, seed=0).stats
+        banned = default_rules().ban_list(stats)
+        assert "ROW_DIV" in banned and "COL_DIV" in banned
+
+    def test_regular_has_larger_ban_list(self):
+        """The asymmetry behind Fig 13: regular matrices search less."""
+        regular = banded_matrix(2000, bandwidth=5, seed=0).stats
+        irregular = power_law_matrix(3000, avg_degree=8, seed=0).stats
+        rules = default_rules()
+        assert len(rules.ban_list(regular)) > len(rules.ban_list(irregular))
+
+    def test_active_rules_reported(self):
+        stats = banded_matrix(1000, bandwidth=5, seed=0).stats
+        active = default_rules().active_rules(stats)
+        assert any("regular" in r.name for r in active)
+        assert all(r.reason for r in active)
+
+
+class TestCustomRules:
+    def test_user_rule(self):
+        rules = PruningRules()
+        rules.add("ban-everything-wide",
+                  lambda s: s.n_cols > 100, {"COL_DIV"}, "example")
+        stats = banded_matrix(500, bandwidth=2, seed=0).stats
+        assert rules.ban_list(stats) == {"COL_DIV"}
+
+    def test_empty_rules_ban_nothing(self):
+        stats = banded_matrix(500, bandwidth=2, seed=0).stats
+        assert PruningRules().ban_list(stats) == set()

@@ -1,0 +1,140 @@
+"""Structure sampler + parameter grid tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import OperatorGraph
+from repro.search.space import (
+    StructureSampler,
+    enumerate_param_grid,
+    features_for,
+    graph_with_params,
+    param_slots,
+    seed_structures,
+)
+
+
+class TestSampler:
+    def test_samples_statically_valid(self):
+        sampler = StructureSampler(seed=0)
+        for _ in range(60):
+            proposal = sampler.sample()
+            proposal.graph.validate()  # must not raise
+
+    def test_deterministic_by_seed(self):
+        a = [StructureSampler(seed=5).sample().signature for _ in range(1)]
+        b = [StructureSampler(seed=5).sample().signature for _ in range(1)]
+        assert a == b
+
+    def test_respects_ban_list(self):
+        banned = {"BIN", "ROW_DIV", "WARP_SEG_RED", "BMT_NNZ_BLOCK",
+                  "BMW_NNZ_BLOCK", "BMTB_NNZ_BLOCK", "WARP_BITMAP_RED",
+                  "THREAD_BITMAP_RED"}
+        sampler = StructureSampler(banned=banned, seed=1)
+        for _ in range(80):
+            ops = set(sampler.sample().graph.operator_names())
+            assert not (ops & banned)
+
+    def test_produces_variety(self):
+        sampler = StructureSampler(seed=2)
+        sigs = {sampler.sample().signature for _ in range(60)}
+        assert len(sigs) > 10
+
+    def test_locks_pin_total_reductions(self):
+        sampler = StructureSampler(seed=3)
+        for _ in range(100):
+            proposal = sampler.sample()
+            walk = list(proposal.graph.walk())
+            ops = [n.op_name for n in walk]
+            if "THREAD_TOTAL_RED" in ops and "BMT_ROW_BLOCK" in ops:
+                idx = ops.index("BMT_ROW_BLOCK")
+                assert proposal.locks.get((idx, "rows_per_block")) == 1
+
+
+class TestSeeds:
+    def test_archetypes_valid(self):
+        for proposal in seed_structures():
+            proposal.graph.validate()
+
+    def test_covers_major_formats(self):
+        names = [tuple(p.graph.operator_names()) for p in seed_structures()]
+        flat = {op for sig in names for op in sig}
+        assert "BMW_NNZ_BLOCK" in flat   # CSR5 lineage
+        assert "BMTB_NNZ_BLOCK" in flat  # Merge lineage
+        assert "SORT" in flat            # SELL lineage
+        assert len(names) >= 8
+
+    def test_ban_filters_seeds(self):
+        banned = {"BMT_NNZ_BLOCK", "BMW_NNZ_BLOCK", "BMTB_NNZ_BLOCK"}
+        seeds = seed_structures(banned)
+        for proposal in seeds:
+            assert not (set(proposal.graph.operator_names()) & banned)
+
+    def test_seed_locks_applied(self):
+        for proposal in seed_structures():
+            ops = proposal.graph.operator_names()
+            if ops == ["COMPRESS", "BMT_ROW_BLOCK", "SET_RESOURCES",
+                       "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"]:
+                assert (1, "rows_per_block") in proposal.locks
+                return
+        pytest.fail("csr-scalar archetype missing")
+
+
+class TestParamGrid:
+    def graph(self):
+        return OperatorGraph.from_names(
+            ["COMPRESS", "BMTB_ROW_BLOCK", "SET_RESOURCES",
+             "SHMEM_OFFSET_RED", "GMEM_DIRECT_STORE"]
+        )
+
+    def test_slots_enumerated(self):
+        slots = param_slots(self.graph())
+        names = {(i, n) for (i, n), _, _ in slots}
+        assert (1, "rows_per_block") in names
+        assert (2, "threads_per_block") in names
+
+    def test_locks_removed_from_slots(self):
+        slots = param_slots(self.graph(), locks={(1, "rows_per_block"): 64})
+        names = {key for key, _, _ in slots}
+        assert (1, "rows_per_block") not in names
+
+    def test_full_product_when_small(self):
+        grid = enumerate_param_grid(self.graph(), cap=1000)
+        slots = param_slots(self.graph())
+        expected = 1
+        for _, coarse, _ in slots:
+            expected *= len(coarse)
+        assert len(grid) == expected
+
+    def test_capped_sampling(self):
+        grid = enumerate_param_grid(self.graph(), level="fine", cap=10)
+        assert len(grid) == 10
+        assert len({tuple(sorted(a.items())) for a in grid}) == 10  # distinct
+
+    def test_default_always_first(self):
+        grid = enumerate_param_grid(self.graph(), level="fine", cap=5)
+        slots = param_slots(self.graph())
+        for (key, coarse, fine) in slots:
+            assert grid[0][key] == fine[0]
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            enumerate_param_grid(self.graph(), level="medium")
+
+    def test_graph_with_params_applies(self):
+        g = self.graph()
+        new = graph_with_params(g, {(1, "rows_per_block"): 256})
+        assert list(new.walk())[1].params["rows_per_block"] == 256
+        # original untouched
+        assert list(g.walk())[1].params["rows_per_block"] != 256
+
+    def test_features_numeric_log2(self):
+        slots = param_slots(self.graph())
+        assignment = {key: coarse[0] for key, coarse, _ in slots}
+        feats = features_for(slots, assignment)
+        assert feats.shape == (len(slots),)
+        assert np.isfinite(feats).all()
+        # numeric params enter as log2
+        for j, (key, coarse, _) in enumerate(slots):
+            if key[1] == "rows_per_block":
+                assert feats[j] == pytest.approx(np.log2(coarse[0]))

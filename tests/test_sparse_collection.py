@@ -1,0 +1,75 @@
+"""Corpus and named-matrix tests."""
+
+import pytest
+
+from repro.sparse.collection import (
+    NAMED_MATRICES,
+    TABLE3_MATRICES,
+    CorpusEntry,
+    corpus,
+    named_matrix,
+)
+from repro.sparse.matrix import IRREGULARITY_THRESHOLD
+
+
+class TestNamedMatrices:
+    def test_all_names_build(self):
+        for name in NAMED_MATRICES:
+            m = named_matrix(name)
+            assert m.nnz > 0
+            assert m.name == name
+
+    def test_cached(self):
+        assert named_matrix("scfxm1-2r") is named_matrix("scfxm1-2r")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            named_matrix("nonexistent_matrix")
+
+    def test_table3_all_named(self):
+        assert len(TABLE3_MATRICES) == 13
+        for name in TABLE3_MATRICES:
+            assert name in NAMED_MATRICES
+
+    def test_gl7d19_is_outlier_pattern(self):
+        """The §VII-H limitation case: balanced rows + a few much longer."""
+        m = named_matrix("GL7d19")
+        lengths = m.row_lengths()
+        assert lengths.max() > 10 * float(lengths.mean())
+
+    def test_scfxm1_2r_moderately_irregular(self):
+        m = named_matrix("scfxm1-2r")
+        assert m.stats.row_variance > IRREGULARITY_THRESHOLD
+        assert m.stats.row_variance < 100 * IRREGULARITY_THRESHOLD
+
+    def test_consph_regular(self):
+        assert not named_matrix("consph").is_irregular
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = [e.matrix for e in corpus(6)]
+        b = [e.matrix for e in corpus(6)]
+        for ma, mb in zip(a, b):
+            assert ma == mb
+
+    def test_entries_well_formed(self):
+        for entry in corpus(8):
+            assert isinstance(entry, CorpusEntry)
+            assert entry.matrix.stats.empty_rows == 0  # paper's test-set rule
+            assert entry.matrix.nnz >= 500
+            assert entry.family in entry.name
+
+    def test_indices_sequential(self):
+        indices = [e.index for e in corpus(8)]
+        assert indices == list(range(8))
+
+    def test_mix_of_regular_and_irregular(self):
+        entries = list(corpus(24))
+        irregular = sum(e.matrix.is_irregular for e in entries)
+        # The paper's test set is ~35 % irregular; accept a broad band.
+        assert 0.15 <= irregular / len(entries) <= 0.75
+
+    def test_spans_sizes(self):
+        sizes = {e.matrix.n_rows for e in corpus(16)}
+        assert len(sizes) >= 2

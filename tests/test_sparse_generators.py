@@ -1,0 +1,120 @@
+"""Generator tests: determinism and the pattern properties each family
+is supposed to exhibit (the features the paper's figures stratify on)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import generators as gen
+from repro.sparse.matrix import IRREGULARITY_THRESHOLD
+
+
+ALL_GENERATORS = [
+    lambda seed: gen.banded_matrix(200, bandwidth=4, seed=seed),
+    lambda seed: gen.fem_like_matrix(200, avg_degree=10, seed=seed),
+    lambda seed: gen.power_law_matrix(300, avg_degree=6, seed=seed),
+    lambda seed: gen.lp_like_matrix(300, seed=seed),
+    lambda seed: gen.block_diagonal_matrix(6, block_size=20, seed=seed),
+    lambda seed: gen.diagonal_band_matrix(200, n_diagonals=5, seed=seed),
+    lambda seed: gen.rows_with_outliers_matrix(300, seed=seed),
+    lambda seed: gen.random_uniform_matrix(300, seed=seed),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_GENERATORS)
+def test_deterministic(factory):
+    a, b = factory(11), factory(11)
+    assert a == b
+
+
+@pytest.mark.parametrize("factory", ALL_GENERATORS)
+def test_different_seeds_differ(factory):
+    assert factory(1) != factory(2)
+
+
+@pytest.mark.parametrize("factory", ALL_GENERATORS)
+def test_no_empty_rows(factory):
+    m = factory(5)
+    assert m.stats.empty_rows == 0
+
+
+@pytest.mark.parametrize("factory", ALL_GENERATORS)
+def test_values_nonzero(factory):
+    m = factory(5)
+    assert (m.vals != 0).all()
+
+
+class TestBanded:
+    def test_bandwidth_respected(self):
+        m = gen.banded_matrix(50, bandwidth=2, seed=0)
+        assert (np.abs(m.cols - m.rows) <= 2).all()
+
+    def test_regular(self):
+        m = gen.banded_matrix(500, bandwidth=5, seed=0)
+        assert m.stats.row_variance < IRREGULARITY_THRESHOLD
+
+    def test_interior_rows_full(self):
+        m = gen.banded_matrix(50, bandwidth=3, seed=0)
+        lengths = m.row_lengths()
+        assert (lengths[3:-3] == 7).all()
+
+
+class TestPowerLaw:
+    def test_irregular(self):
+        m = gen.power_law_matrix(1500, avg_degree=8, seed=3)
+        assert m.stats.row_variance > IRREGULARITY_THRESHOLD
+
+    def test_max_degree_cap(self):
+        m = gen.power_law_matrix(400, avg_degree=6, max_degree=50, seed=1)
+        assert m.stats.max_row_length <= 50
+
+    def test_has_hub_rows(self):
+        m = gen.power_law_matrix(1500, avg_degree=8, seed=3)
+        assert m.stats.max_row_length > 5 * m.stats.avg_row_length
+
+
+class TestLpLike:
+    def test_mixture_of_lengths(self):
+        m = gen.lp_like_matrix(800, short_len=4, long_len=60, seed=2)
+        lengths = m.row_lengths()
+        assert (lengths == 4).sum() > 0.7 * 800
+        assert lengths.max() >= 30
+
+    def test_rectangular_supported(self):
+        m = gen.lp_like_matrix(100, n_cols=40, seed=0)
+        assert m.shape == (100, 40)
+
+
+class TestDiagonalBand:
+    def test_entries_on_few_diagonals(self):
+        m = gen.diagonal_band_matrix(300, n_diagonals=6, seed=0)
+        n_diags = np.unique(m.cols - m.rows).size
+        assert n_diags <= 6
+
+    def test_main_diagonal_present(self):
+        m = gen.diagonal_band_matrix(100, seed=0)
+        assert (m.cols == m.rows).sum() == 100
+
+
+class TestOutliers:
+    def test_bimodal(self):
+        m = gen.rows_with_outliers_matrix(400, base_len=10, n_outliers=3, seed=0)
+        lengths = m.row_lengths()
+        assert (lengths >= 100).sum() == 3
+        assert np.median(lengths) == 10
+
+
+class TestBlockDiagonal:
+    def test_shape(self):
+        m = gen.block_diagonal_matrix(5, block_size=16, seed=0)
+        assert m.shape == (80, 80)
+
+    def test_spiky_rows(self):
+        m = gen.block_diagonal_matrix(12, block_size=32, seed=0)
+        assert m.stats.max_row_length > 2 * m.stats.avg_row_length
+
+
+class TestUniform:
+    def test_low_variance(self):
+        m = gen.random_uniform_matrix(2000, avg_degree=10, seed=0)
+        # Poisson: variance ~ mean, far below the irregularity threshold.
+        assert m.stats.row_variance < 50

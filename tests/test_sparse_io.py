@@ -1,0 +1,120 @@
+"""Matrix Market I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse.io import (
+    MatrixMarketError,
+    dumps,
+    loads,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.sparse.matrix import SparseMatrix
+
+
+GENERAL = """%%MatrixMarket matrix coordinate real general
+% a comment line
+3 4 4
+1 1 1.5
+1 3 -2.0
+2 2 3.25
+3 4 4.0
+"""
+
+SYMMETRIC = """%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1.0
+2 1 2.0
+3 2 5.0
+"""
+
+SKEW = """%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 2
+2 1 2.0
+3 2 5.0
+"""
+
+PATTERN = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+"""
+
+
+class TestRead:
+    def test_general(self):
+        m = loads(GENERAL)
+        assert m.shape == (3, 4)
+        assert m.nnz == 4
+        dense = m.to_dense()
+        assert dense[0, 0] == 1.5
+        assert dense[0, 2] == -2.0
+        assert dense[2, 3] == 4.0
+
+    def test_symmetric_expansion(self):
+        m = loads(SYMMETRIC)
+        dense = m.to_dense()
+        assert dense[1, 0] == 2.0 and dense[0, 1] == 2.0
+        assert dense[2, 1] == 5.0 and dense[1, 2] == 5.0
+        assert dense[0, 0] == 1.0  # diagonal not duplicated
+        assert m.nnz == 5
+
+    def test_skew_symmetric_expansion(self):
+        m = loads(SKEW)
+        dense = m.to_dense()
+        assert dense[1, 0] == 2.0 and dense[0, 1] == -2.0
+
+    def test_pattern_ones(self):
+        m = loads(PATTERN)
+        assert m.vals.tolist() == [1.0, 1.0]
+
+    def test_integer_field(self):
+        m = loads("%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 7\n")
+        assert m.to_dense()[0, 1] == 7.0
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not a header\n1 1 1\n",
+            "%%MatrixMarket matrix array real general\n2 2\n1.0\n",
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+            "%%MatrixMarket matrix coordinate real general\n1 1\n",
+            "%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1.0\n",
+            "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(MatrixMarketError):
+            loads(text)
+
+    def test_too_many_entries_rejected(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n"
+        with pytest.raises(MatrixMarketError):
+            loads(text)
+
+
+class TestWrite:
+    def test_round_trip_string(self, small_lp):
+        again = loads(dumps(small_lp))
+        assert again == small_lp
+
+    def test_round_trip_file(self, tmp_path, small_irregular):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(small_irregular, path)
+        again = read_matrix_market(path)
+        assert again == small_irregular
+        assert again.name == "m"  # name from filename
+
+    def test_values_preserved_precisely(self):
+        m = SparseMatrix(1, 1, [0], [0], [1.0 / 3.0])
+        again = loads(dumps(m))
+        assert again.vals[0] == m.vals[0]
+
+    def test_header_written(self, tiny_matrix):
+        out = dumps(tiny_matrix)
+        assert out.startswith("%%MatrixMarket matrix coordinate real general")
+        assert "4 4 5" in out.splitlines()[2]

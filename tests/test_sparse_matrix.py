@@ -1,0 +1,189 @@
+"""Unit + property tests for the SparseMatrix container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.matrix import IRREGULARITY_THRESHOLD, MatrixStats, SparseMatrix
+
+
+class TestConstruction:
+    def test_basic_triplets(self):
+        m = SparseMatrix(3, 4, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+        assert m.shape == (3, 4)
+        assert m.nnz == 3
+        assert m.vals.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rows_sorted_row_major(self):
+        m = SparseMatrix(3, 3, [2, 0, 1, 0], [0, 2, 1, 0], [1, 2, 3, 4])
+        assert m.rows.tolist() == [0, 0, 1, 2]
+        assert m.cols.tolist() == [0, 2, 1, 0]
+        assert m.vals.tolist() == [4, 2, 3, 1]
+
+    def test_default_values_are_ones(self):
+        m = SparseMatrix(2, 2, [0, 1], [0, 1])
+        assert m.vals.tolist() == [1.0, 1.0]
+
+    def test_duplicates_summed(self):
+        m = SparseMatrix(2, 2, [0, 0, 0], [1, 1, 0], [2.0, 3.0, 1.0])
+        assert m.nnz == 2
+        dense = m.to_dense()
+        assert dense[0, 1] == 5.0
+        assert dense[0, 0] == 1.0
+
+    def test_empty_matrix_allowed(self):
+        m = SparseMatrix(3, 3, [], [])
+        assert m.nnz == 0
+        assert m.stats.avg_row_length == 0.0
+
+    @pytest.mark.parametrize(
+        "rows,cols,n_rows,n_cols",
+        [([3], [0], 3, 3), ([-1], [0], 3, 3), ([0], [5], 3, 3), ([0], [-2], 3, 3)],
+    )
+    def test_out_of_range_rejected(self, rows, cols, n_rows, n_cols):
+        with pytest.raises(ValueError):
+            SparseMatrix(n_rows, n_cols, rows, cols)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SparseMatrix(2, 2, [0, 1], [0])
+        with pytest.raises(ValueError):
+            SparseMatrix(2, 2, [0], [0], [1.0, 2.0])
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            SparseMatrix(0, 2, [], [])
+
+    def test_unhashable(self):
+        m = SparseMatrix(2, 2, [0], [0])
+        with pytest.raises(TypeError):
+            hash(m)
+
+    def test_equality(self):
+        a = SparseMatrix(2, 2, [0, 1], [0, 1], [1.0, 2.0])
+        b = SparseMatrix(2, 2, [1, 0], [1, 0], [2.0, 1.0])
+        c = SparseMatrix(2, 2, [0, 1], [0, 1], [1.0, 3.0])
+        assert a == b
+        assert a != c
+
+
+class TestStats:
+    def test_row_lengths(self, tiny_matrix):
+        assert tiny_matrix.row_lengths().tolist() == [2, 1, 1, 1]
+
+    def test_row_offsets(self, tiny_matrix):
+        assert tiny_matrix.row_offsets().tolist() == [0, 2, 3, 4, 5]
+
+    def test_stats_values(self, tiny_matrix):
+        s = tiny_matrix.stats
+        assert isinstance(s, MatrixStats)
+        assert s.nnz == 5
+        assert s.avg_row_length == pytest.approx(1.25)
+        assert s.max_row_length == 2
+        assert s.min_row_length == 1
+        assert s.empty_rows == 0
+        assert s.density == pytest.approx(5 / 16)
+
+    def test_irregularity_definition(self):
+        # Paper: irregular <=> row-length variance > 100.
+        regular = SparseMatrix(4, 4, [0, 1, 2, 3], [0, 1, 2, 3])
+        assert not regular.is_irregular
+        rows = [0] * 60 + [1, 2, 3]
+        cols = list(range(60)) + [0, 0, 0]
+        skewed = SparseMatrix(4, 64, rows, cols)
+        assert skewed.stats.row_variance > IRREGULARITY_THRESHOLD
+        assert skewed.is_irregular
+
+    def test_stats_cached(self, tiny_matrix):
+        assert tiny_matrix.stats is tiny_matrix.stats
+
+
+class TestLinearAlgebra:
+    def test_spmv_reference_matches_dense(self, tiny_matrix):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        expected = tiny_matrix.to_dense() @ x
+        np.testing.assert_allclose(tiny_matrix.spmv_reference(x), expected)
+
+    def test_spmv_reference_matches_scipy(self, small_irregular, x_for):
+        x = x_for(small_irregular)
+        expected = small_irregular.to_scipy_csr() @ x
+        np.testing.assert_allclose(small_irregular.spmv_reference(x), expected)
+
+    def test_spmv_shape_validation(self, tiny_matrix):
+        with pytest.raises(ValueError):
+            tiny_matrix.spmv_reference(np.zeros(5))
+
+    def test_dense_round_trip(self, tiny_matrix):
+        back = SparseMatrix.from_dense(tiny_matrix.to_dense())
+        assert back == tiny_matrix
+
+    def test_from_scipy(self, small_lp):
+        back = SparseMatrix.from_scipy(small_lp.to_scipy_csr())
+        assert back == small_lp
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            SparseMatrix.from_dense(np.zeros(4))
+
+
+class TestDropEmptyRows:
+    def test_compacts(self):
+        m = SparseMatrix(5, 3, [0, 2, 4], [0, 1, 2], [1.0, 2.0, 3.0])
+        compact = m.drop_empty_rows()
+        assert compact.n_rows == 3
+        assert compact.stats.empty_rows == 0
+        assert compact.vals.tolist() == [1.0, 2.0, 3.0]
+
+    def test_noop_when_full(self, tiny_matrix):
+        assert tiny_matrix.drop_empty_rows().n_rows == tiny_matrix.n_rows
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+@st.composite
+def sparse_matrices(draw, max_dim=24, max_nnz=64):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return SparseMatrix(n_rows, n_cols, rows, cols, vals)
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_property_spmv_matches_dense(m):
+    x = np.linspace(-1.0, 1.0, m.n_cols)
+    np.testing.assert_allclose(
+        m.spmv_reference(x), m.to_dense() @ x, rtol=1e-10, atol=1e-10
+    )
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_property_row_lengths_sum_to_nnz(m):
+    assert int(m.row_lengths().sum()) == m.nnz
+    assert m.row_offsets()[-1] == m.nnz
+    assert (np.diff(m.row_offsets()) >= 0).all()
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_property_storage_row_major_unique(m):
+    rows, cols = m.rows, m.cols
+    if rows.size > 1:
+        keys = rows * m.n_cols + cols
+        assert (np.diff(keys) > 0).all()  # strictly increasing => sorted+unique
