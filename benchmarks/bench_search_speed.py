@@ -1,0 +1,107 @@
+"""Record the staged-runtime search-speed baseline.
+
+Runs one standard-budget search per corpus matrix in four configurations —
+serial/uncached (the pre-refactor behaviour), serial/cached, and cached
+with 2 and 4 workers — asserts they agree bit-for-bit, and writes the
+wall-clock numbers plus cache counters to ``BENCH_search_speed.json`` at
+the repo root.  Not a pytest module: run it directly.
+
+    PYTHONPATH=src python benchmarks/bench_search_speed.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro.gpu import A100
+from repro.search import SearchBudget, SearchEngine
+from repro.sparse import banded_matrix, lp_like_matrix, power_law_matrix
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_search_speed.json")
+
+MATRICES = [
+    banded_matrix(768, bandwidth=4, seed=0, name="banded-768"),
+    power_law_matrix(1024, avg_degree=10, seed=4, name="powerlaw-1024"),
+    lp_like_matrix(400, seed=3, name="lp-400"),
+]
+
+
+def _run(jobs: int, cache: bool, seed: int = 0):
+    engine = SearchEngine(
+        A100,
+        budget=SearchBudget(jobs=jobs),
+        seed=seed,
+        enable_design_cache=cache,
+    )
+    t0 = time.perf_counter()
+    with engine:
+        results = engine.search_many(MATRICES)
+    wall = time.perf_counter() - t0
+    return wall, results
+
+
+def main() -> int:
+    configs = {
+        "serial_uncached": dict(jobs=1, cache=False),
+        "serial_cached": dict(jobs=1, cache=True),
+        "jobs2_cached": dict(jobs=2, cache=True),
+        "jobs4_cached": dict(jobs=4, cache=True),
+    }
+    walls = {}
+    outcomes = {}
+    for name, cfg in configs.items():
+        wall, results = _run(**cfg)
+        walls[name] = wall
+        outcomes[name] = results
+        print(f"{name:>16}: {wall:6.2f}s  "
+              f"designs={sum(r.designer_runs for r in results)}  "
+              f"evals={sum(r.total_evaluations for r in results)}")
+
+    reference = outcomes["serial_uncached"]
+    for name, results in outcomes.items():
+        for got, want in zip(results, reference):
+            assert got.best_gflops == want.best_gflops, (
+                f"{name} diverged on {want.matrix_name}"
+            )
+            assert len(got.history) == len(want.history)
+
+    cached = outcomes["serial_cached"]
+    record = {
+        "recorded_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "budget": "SearchBudget() defaults",
+        "matrices": [m.name for m in MATRICES],
+        "wall_s": {k: round(v, 3) for k, v in walls.items()},
+        "speedup_vs_uncached": {
+            k: round(walls["serial_uncached"] / v, 2)
+            for k, v in walls.items()
+        },
+        "total_evaluations": sum(r.total_evaluations for r in cached),
+        "designer_runs": {
+            "uncached": sum(r.designer_runs for r in reference),
+            "cached": sum(r.designer_runs for r in cached),
+        },
+        "designer_run_reduction": round(
+            sum(r.designer_runs for r in reference)
+            / max(1, sum(r.designer_runs for r in cached)),
+            2,
+        ),
+        "design_cache": {
+            "hits": sum(r.design_cache_hits for r in cached),
+            "misses": sum(r.design_cache_misses for r in cached),
+        },
+    }
+    with open(OUT_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"baseline written to {os.path.abspath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@ Each bench test (a) regenerates the paper artifact as a printed table or
 series, (b) asserts the paper's qualitative *shape* (who wins, direction of
 trends), and (c) times a representative kernel of the experiment through the
 ``benchmark`` fixture.
+
+Everything in this directory is marked ``slow`` at collection time; the
+default test run deselects it (see ``pytest.ini``), so figure reproduction
+is opt-in: ``pytest benchmarks -m slow``.  ``REPRO_BENCH_JOBS`` sets the
+evaluation worker count (results are identical for any value).
 """
 
 from __future__ import annotations
@@ -22,20 +27,46 @@ import numpy as np
 import pytest
 
 from repro.baselines import PerfectFormatSelector, PfsSelection
-from repro.search import AnnealingSchedule, SearchBudget, SearchEngine, SearchResult
+from repro.search import (
+    AnnealingSchedule,
+    EvaluationRuntime,
+    SearchBudget,
+    SearchEngine,
+    SearchResult,
+)
 from repro.sparse import corpus
 from repro.sparse.collection import CorpusEntry
 from repro.gpu import A100, RTX2080
 
 CORPUS_SIZE = int(os.environ.get("REPRO_BENCH_CORPUS", "12"))
 MAX_EVALS = int(os.environ.get("REPRO_BENCH_EVALS", "110"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 BENCH_BUDGET = SearchBudget(
     max_structures=14,
     coarse_evals_per_structure=8,
     max_total_evals=MAX_EVALS,
     ml_top_k=4,
+    jobs=BENCH_JOBS,
 )
+
+
+#: One worker pool for the whole benchmark session — every engine that
+#: ``bench_engine`` hands out shares it (closed by ``pytest_sessionfinish``),
+#: so per-test throwaway engines never leak executors.
+SHARED_RUNTIME = EvaluationRuntime(jobs=BENCH_JOBS)
+
+
+def pytest_collection_modifyitems(items):
+    """Every figure/table reproduction is a slow test."""
+    this_dir = os.path.dirname(__file__)
+    for item in items:
+        if str(item.fspath).startswith(this_dir):
+            item.add_marker(pytest.mark.slow)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    SHARED_RUNTIME.close()
 
 
 def bench_engine(gpu, seed: int = 11, enable_pruning: bool = True) -> SearchEngine:
@@ -47,6 +78,7 @@ def bench_engine(gpu, seed: int = 11, enable_pruning: bool = True) -> SearchEngi
         annealing=AnnealingSchedule(
             initial_temperature=0.25, cooling=0.82, patience=5
         ),
+        runtime=SHARED_RUNTIME,
     )
 
 
@@ -73,13 +105,20 @@ def bench_corpus() -> List[CorpusEntry]:
 
 
 def _run_all(entries, gpu) -> List[MatrixRun]:
-    runs = []
+    """One shared engine per figure sweep: every matrix's search reuses the
+    same design cache and worker pool (the collection-level driver)."""
     selector = PerfectFormatSelector()
-    for entry in entries:
+    entries = list(entries)
+    with bench_engine(gpu) as engine:
+        alphas = engine.search_many(
+            [entry.matrix for entry in entries],
+            seeds=[100 + entry.index for entry in entries],
+        )
+    runs = []
+    for entry, alpha in zip(entries, alphas):
         m = entry.matrix
         x = np.random.default_rng(0x5EED).random(m.n_cols)
         pfs = selector.select(m, gpu, x)
-        alpha = bench_engine(gpu, seed=100 + entry.index).search(m)
         runs.append(MatrixRun(entry=entry, alpha=alpha, pfs=pfs))
     return runs
 

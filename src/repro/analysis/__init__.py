@@ -7,7 +7,11 @@ from repro.analysis.metrics import (
     classify_creativity,
     SPEEDUP_BINS,
 )
-from repro.analysis.reporting import render_table, render_series
+from repro.analysis.reporting import (
+    render_table,
+    render_series,
+    render_search_summary,
+)
 
 __all__ = [
     "geomean",
@@ -17,4 +21,5 @@ __all__ = [
     "SPEEDUP_BINS",
     "render_table",
     "render_series",
+    "render_search_summary",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
 
-__all__ = ["render_table", "render_series"]
+__all__ = ["render_table", "render_series", "render_search_summary"]
 
 
 def render_table(
@@ -52,6 +52,32 @@ def render_series(
         bar = "#" * max(1, int(width * y / y_max))
         lines.append(f"{_fmt(x):>12} | {bar} {_fmt(y)}")
     return "\n".join(lines)
+
+
+def render_search_summary(results: Sequence[object], title: str = "") -> str:
+    """Table over :class:`~repro.search.engine.SearchResult` objects.
+
+    Duck-typed (no import of the search layer): anything exposing the
+    result fields renders.  Shows the staged-runtime accounting — Designer
+    executions and design-cache hit rate — next to the search outcome, the
+    collection-level view the CLI's multi-matrix mode prints.
+    """
+    rows = []
+    for res in results:
+        rows.append([
+            res.matrix_name or "<unnamed>",
+            res.best_gflops,
+            res.total_evaluations,
+            res.structures_tried,
+            res.designer_runs,
+            f"{res.design_cache_hit_rate * 100.0:.0f}%",
+            res.wall_time_s,
+        ])
+    return render_table(
+        title or "Search summary (shared engine, design cache and pool)",
+        ["matrix", "GFLOPS", "evals", "structs", "designs", "cache hit", "wall s"],
+        rows,
+    )
 
 
 def _fmt(cell: object) -> str:

@@ -6,7 +6,8 @@ implementation" (§III).
 
 Commands::
 
-    python -m repro search <matrix.mtx | @named> [--gpu A100] [--evals N]
+    python -m repro search <matrix.mtx | @named> [more matrices ...]
+                           [--gpu A100] [--evals N] [--jobs N]
                            [--out DIR] [--no-pruning] [--extensions] [--seed S]
     python -m repro baselines <matrix.mtx | @named> [--gpu A100]
     python -m repro stats <matrix.mtx | @named>
@@ -14,17 +15,20 @@ Commands::
     python -m repro matrices
 
 ``@name`` selects one of the built-in named matrices (e.g. ``@scfxm1-2r``).
+``search`` accepts several matrices; they share one engine, one design
+cache and one worker pool (``--jobs``) and print a collection summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 import numpy as np
 
-from repro.analysis import render_table
+from repro.analysis import render_search_summary, render_table
 from repro.baselines import PFS_MEMBERS, PerfectFormatSelector, get_baseline
 from repro.core.operators import OPERATOR_REGISTRY, Stage
 from repro.export import export_program
@@ -43,24 +47,42 @@ def _load_matrix(spec: str) -> SparseMatrix:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    matrix = _load_matrix(args.matrix)
+    specs: List[str] = args.matrix
+    matrices = [_load_matrix(spec) for spec in specs]
     gpu = gpu_by_name(args.gpu)
-    stats = matrix.stats
-    print(f"matrix {matrix.name or args.matrix}: {matrix.n_rows}x{matrix.n_cols}, "
-          f"nnz={matrix.nnz}, row variance={stats.row_variance:.1f} "
-          f"({'irregular' if stats.is_irregular else 'regular'})")
     engine = SearchEngine(
         gpu,
-        budget=SearchBudget(max_total_evals=args.evals),
+        budget=SearchBudget(max_total_evals=args.evals, jobs=args.jobs),
         seed=args.seed,
         enable_pruning=not args.no_pruning,
         enable_extensions=args.extensions,
     )
+    try:
+        if len(matrices) == 1:
+            return _search_single(engine, matrices[0], specs[0], gpu, args)
+        return _search_collection(engine, matrices, specs, gpu, args)
+    finally:
+        engine.close()
+
+
+def _search_single(engine, matrix, spec, gpu, args) -> int:
+    stats = matrix.stats
+    print(f"matrix {matrix.name or spec}: {matrix.n_rows}x{matrix.n_cols}, "
+          f"nnz={matrix.nnz}, row variance={stats.row_variance:.1f} "
+          f"({'irregular' if stats.is_irregular else 'regular'})")
     result = engine.search(matrix)
     print(f"\nsearch: {result.total_evaluations} evaluations over "
           f"{result.structures_tried} structures in {result.wall_time_s:.1f}s"
           + (f", banned: {sorted(result.banned_operators)}"
              if result.banned_operators else ""))
+    print(f"design cache: {result.designer_runs} designer runs for "
+          f"{result.total_evaluations} evaluations "
+          f"({result.design_cache_hits} hits / "
+          f"{result.design_cache_misses} misses)")
+    if result.best_graph is None:
+        print("no valid candidate found within the evaluation budget; "
+              "raise --evals")
+        return 1
     print(f"best machine-designed SpMV: {result.best_gflops:.1f} GFLOPS "
           f"({gpu.name} model)")
     print("\nwinning Operator Graph:")
@@ -75,6 +97,39 @@ def _cmd_search(args: argparse.Namespace) -> int:
     else:
         print("\ngenerated kernel:")
         print(result.best_program.source())
+    return 0
+
+
+def _search_collection(engine, matrices, specs, gpu, args) -> int:
+    """Multi-matrix mode: one engine, one cache, one pool, one summary."""
+    results = engine.search_many(matrices)
+    print(render_search_summary(
+        results,
+        title=f"Search summary on {gpu.name} model "
+              f"(jobs={engine.runtime.jobs}, shared design cache)",
+    ))
+    used_dirs: set = set()
+    for i, (spec, matrix, result) in enumerate(zip(specs, matrices, results)):
+        if result.best_program is None:
+            print(f"{matrix.name or spec}: no valid candidate found within "
+                  "the evaluation budget; raise --evals")
+            continue
+        if args.compare_pfs:
+            pfs = PerfectFormatSelector().select(matrix, gpu)
+            print(f"{matrix.name or spec}: PFS picks {pfs.selected_format} "
+                  f"({pfs.gflops:.1f} GFLOPS) -> speedup "
+                  f"{result.best_gflops / pfs.gflops:.2f}x")
+        if args.out:
+            # Distinct matrices may share a name (same basename from
+            # different directories); suffix collisions instead of
+            # silently overwriting the earlier artifact.
+            sub = matrix.name or f"matrix{i}"
+            if sub in used_dirs:
+                sub = f"{sub}-{i}"
+            used_dirs.add(sub)
+            out_dir = os.path.join(args.out, sub)
+            manifest = export_program(result.best_program, out_dir, result.best_graph)
+            print(f"{matrix.name or spec}: artifact exported: {manifest}")
     return 0
 
 
@@ -159,10 +214,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("search", help="search a machine-designed format+kernel")
-    p.add_argument("matrix", help="Matrix Market path or @named-matrix")
+    p.add_argument("matrix", nargs="+",
+                   help="Matrix Market path(s) or @named-matrix(es); several "
+                        "matrices share one engine, cache and worker pool")
     p.add_argument("--gpu", default="A100")
     p.add_argument("--evals", type=int, default=200,
                    help="max program evaluations")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="evaluation workers (1 = serial loop; N > 1 gives "
+                        "identical results for eval-count budgets like "
+                        "--evals, less wall clock)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="export artifact directory")
     p.add_argument("--no-pruning", action="store_true")

@@ -9,6 +9,7 @@ Kernel Generator produces one kernel of the final program.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence
 
@@ -44,16 +45,30 @@ class DesignLeaf:
 
 
 class Designer:
-    """Runs Operator Graphs; stateless and safe to share."""
+    """Runs Operator Graphs; safe to share across threads.
+
+    The only mutable state is :attr:`executions`, a monotonic counter of
+    :meth:`design` calls used by the staged evaluation runtime to verify
+    design-cache effectiveness; it is updated under a lock.
+    """
 
     def __init__(self, check_invariants: bool = True) -> None:
         self.check_invariants = check_invariants
+        self._exec_lock = threading.Lock()
+        self._executions = 0
+
+    @property
+    def executions(self) -> int:
+        """How many times :meth:`design` has run (cache-efficacy metric)."""
+        return self._executions
 
     # ------------------------------------------------------------------
     def design(
         self, matrix: SparseMatrix, graph: OperatorGraph
     ) -> List[DesignLeaf]:
         """Execute ``graph`` on ``matrix``; returns one leaf per sub-matrix."""
+        with self._exec_lock:
+            self._executions += 1
         meta = MatrixMetadataSet.from_matrix(matrix)
         leaves: List[DesignLeaf] = []
         self._run_sequence(meta, graph.nodes, (), leaves)

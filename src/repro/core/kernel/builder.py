@@ -22,25 +22,105 @@ INTERLEAVED_STORAGE transposed the layout.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.designer import Designer, DesignLeaf
+from repro.core.designer import DesignError, Designer, DesignLeaf
 from repro.core.format import MachineDesignedFormat, build_format
-from repro.core.graph import OperatorGraph
+from repro.core.graph import GraphNode, OperatorGraph
 from repro.core.kernel.codegen import generate_source
 from repro.core.kernel.program import GeneratedProgram, KernelUnit
 from repro.core.metadata import MatrixMetadataSet
+from repro.core.operators import OperatorError
 from repro.core.optimizer import ModelDrivenCompressor
 from repro.gpu.executor import ExecutionPlan, ReductionStep
 from repro.sparse.matrix import SparseMatrix
 
-__all__ = ["BuildError", "KernelBuilder", "build_program"]
+__all__ = [
+    "BuildError",
+    "KernelBuilder",
+    "build_program",
+    "RUNTIME_PARAM_OPS",
+    "design_signature",
+    "design_graph",
+    "runtime_nodes_for_leaf",
+]
 
 #: CUDA hard limit the builder refuses to exceed.
 MAX_THREADS_PER_BLOCK = 1024
 WARP = 32
+
+#: Operators whose parameters only set scalar runtime metadata
+#: (``threads_per_block`` / ``grid_threads``) and never reshape element or
+#: block arrays.  The staged build runs the Designer with these parameters
+#: at their defaults and re-applies the requested values cheaply during
+#: plan assembly, so one set of design leaves serves the operator's whole
+#: parameter grid.  Nothing executed during the design phase reads the
+#: scalars these operators write.
+RUNTIME_PARAM_OPS = frozenset({"SET_RESOURCES"})
+
+
+def design_signature(graph: OperatorGraph) -> Tuple:
+    """Graph identity with runtime-only parameters masked out.
+
+    Two parameterised graphs share a signature exactly when their design
+    phases produce identical leaves — the content-address of the design
+    cache (together with the matrix token).
+    """
+
+    def node_sig(node: GraphNode) -> Tuple:
+        params = (
+            ()
+            if node.op_name in RUNTIME_PARAM_OPS
+            else tuple(sorted(node.params.items()))
+        )
+        return (
+            node.op_name,
+            params,
+            tuple(tuple(node_sig(nd) for nd in child) for child in node.children),
+        )
+
+    return tuple(node_sig(n) for n in graph.nodes)
+
+
+def design_graph(graph: OperatorGraph) -> OperatorGraph:
+    """Copy of ``graph`` with runtime-only parameters reset to defaults, so
+    the design phase is canonical for every runtime assignment."""
+    new = graph.copy()
+    for node in new.walk():
+        if node.op_name in RUNTIME_PARAM_OPS:
+            node.params = node.operator.default_params()
+    return new
+
+
+def runtime_nodes_for_leaf(
+    graph: OperatorGraph, branch_path: Tuple[int, ...]
+) -> List[GraphNode]:
+    """The runtime-parameter nodes on one design leaf's branch path.
+
+    Mirrors :meth:`Designer._run_sequence`: a branching node consumes one
+    path component and the walk continues in the matching child sequence
+    (or the shared continuation when the node has no explicit children).
+    """
+    collected: List[GraphNode] = []
+
+    def follow(nodes: Sequence[GraphNode], path: Tuple[int, ...]) -> None:
+        for i, node in enumerate(nodes):
+            op = node.operator
+            if op.branching:
+                j = path[0] if path else 0
+                if node.children:
+                    child = node.children[min(j, len(node.children) - 1)]
+                else:
+                    child = list(nodes[i + 1 :])
+                follow(child, path[1:])
+                return
+            if node.op_name in RUNTIME_PARAM_OPS:
+                collected.append(node)
+
+    follow(graph.nodes, tuple(branch_path))
+    return collected
 
 
 class BuildError(RuntimeError):
@@ -239,9 +319,39 @@ class KernelBuilder:
             applied_operators=list(leaf.meta.applied_operators),
         )
 
-    def build(self, matrix: SparseMatrix, graph: OperatorGraph) -> GeneratedProgram:
-        leaves = self.designer.design(matrix, graph)
-        kernels = [self.build_unit(leaf) for leaf in leaves]
+    def design_phase(
+        self, matrix: SparseMatrix, graph: OperatorGraph
+    ) -> List[DesignLeaf]:
+        """Structure-level half of :meth:`build`.
+
+        Runs the Designer with runtime-only parameters at their defaults;
+        the returned leaves are valid for *every* runtime assignment of the
+        same design-signature graph, so callers may cache and share them
+        (they must then be treated as immutable).
+        """
+        return self.designer.design(matrix, design_graph(graph))
+
+    def assembly_phase(
+        self,
+        matrix: SparseMatrix,
+        graph: OperatorGraph,
+        leaves: Sequence[DesignLeaf],
+    ) -> GeneratedProgram:
+        """Parameter-level half of :meth:`build`.
+
+        Grafts ``graph``'s runtime parameters onto (possibly cached) design
+        leaves, then builds formats, plans and sources.  Leaves are never
+        mutated: runtime scalars are re-applied on a shallow store copy.
+        """
+        kernels = []
+        for leaf in leaves:
+            meta = self._apply_runtime_params(leaf, graph)
+            unit_leaf = (
+                leaf
+                if meta is leaf.meta
+                else DesignLeaf(meta=meta, branch_path=leaf.branch_path)
+            )
+            kernels.append(self.build_unit(unit_leaf))
         self._check_cross_kernel_writes(kernels)
         return GeneratedProgram(
             matrix_name=matrix.name,
@@ -250,6 +360,27 @@ class KernelBuilder:
             useful_nnz=matrix.nnz,
             kernels=kernels,
         )
+
+    def _apply_runtime_params(
+        self, leaf: DesignLeaf, graph: OperatorGraph
+    ) -> MatrixMetadataSet:
+        """Re-apply the runtime-parameter operators on the leaf's path with
+        the actual requested values (the design ran with defaults)."""
+        nodes = runtime_nodes_for_leaf(graph, leaf.branch_path)
+        if not nodes:
+            return leaf.meta
+        meta = leaf.meta.runtime_copy()
+        for node in nodes:
+            op = node.operator
+            try:
+                op.apply(meta, node.params)
+            except OperatorError as exc:
+                raise DesignError(f"{op.name}: {exc}") from exc
+        return meta
+
+    def build(self, matrix: SparseMatrix, graph: OperatorGraph) -> GeneratedProgram:
+        """Design + assemble in one step (uncached staged build)."""
+        return self.assembly_phase(matrix, graph, self.design_phase(matrix, graph))
 
     @staticmethod
     def _check_cross_kernel_writes(kernels) -> None:

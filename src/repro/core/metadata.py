@@ -104,6 +104,17 @@ class MatrixMetadataSet:
                 new_store[key] = value
         return MatrixMetadataSet(new_store)
 
+    def runtime_copy(self) -> "MatrixMetadataSet":
+        """Shallow store copy for the plan-assembly phase.
+
+        Arrays, lists and nested dicts are **shared** with the original —
+        the copy exists so runtime-scalar entries (``threads_per_block``,
+        ``grid_threads``) can be overwritten without mutating a design leaf
+        that a cache may hand to other evaluations concurrently.  Callers
+        must treat every non-scalar entry as read-only.
+        """
+        return MatrixMetadataSet(dict(self._store))
+
     # ------------------------------------------------------------------
     # Generic key-value interface (paper: user-extensible database)
     # ------------------------------------------------------------------

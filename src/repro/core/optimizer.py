@@ -18,6 +18,9 @@ can extend the hypothesis space via :meth:`ModelDrivenCompressor.register`.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -168,19 +171,34 @@ class ModelDrivenCompressor:
     ``max_exception_fraction`` bounds the tolerated ``if`` statements; the
     default allows max(2, 1 %) mismatches — beyond that the array stays in
     memory.
+
+    Fits are memoised by array content (thread-safe LRU of
+    ``memo_entries`` results, 0 disables).  The staged evaluation runtime
+    reuses design leaves across a structure's whole parameter grid, so the
+    same format arrays reach the compressor hundreds of times per search;
+    one content hash replaces the multi-pass hypothesis fits on repeats.
+    :class:`CompressionModel` is frozen, so a memoised model is safe to
+    share between concurrent builds.
     """
 
-    def __init__(self, max_exception_fraction: float = 0.01) -> None:
+    def __init__(
+        self, max_exception_fraction: float = 0.01, memo_entries: int = 2048
+    ) -> None:
         self.max_exception_fraction = max_exception_fraction
         self._fitters: List[Tuple[str, FitFunc]] = [
             ("linear", _fit_linear),
             ("step", _fit_step),
             ("periodic_linear", _fit_periodic_linear),
         ]
+        self.memo_entries = memo_entries
+        self._memo: "OrderedDict[Tuple, Optional[CompressionModel]]" = OrderedDict()
+        self._memo_lock = threading.Lock()
 
     def register(self, name: str, fitter: FitFunc) -> None:
         """Add a user hypothesis function (paper: extensible model set)."""
         self._fitters.append((name, fitter))
+        with self._memo_lock:
+            self._memo.clear()  # cached misses may now fit
 
     def budget(self, n: int) -> int:
         return max(2, int(self.max_exception_fraction * n))
@@ -192,6 +210,25 @@ class ModelDrivenCompressor:
             return CompressionModel("linear", (0.0, 0.0), 1, (), 0)
         if not np.issubdtype(arr.dtype, np.integer):
             return None
+        key = None
+        if self.memo_entries > 0:
+            digest = hashlib.blake2b(
+                np.ascontiguousarray(arr).tobytes(), digest_size=16
+            ).digest()
+            key = (arr.dtype.str, arr.size, digest)
+            with self._memo_lock:
+                if key in self._memo:
+                    self._memo.move_to_end(key)
+                    return self._memo[key]
+        model = self._fit_uncached(arr)
+        if key is not None:
+            with self._memo_lock:
+                self._memo[key] = model
+                while len(self._memo) > self.memo_entries:
+                    self._memo.popitem(last=False)
+        return model
+
+    def _fit_uncached(self, arr: np.ndarray) -> Optional[CompressionModel]:
         budget = self.budget(arr.size)
         for _, fitter in self._fitters:
             model = fitter(arr.astype(np.int64), budget)

@@ -10,6 +10,12 @@ pattern.
 """
 
 from repro.search.engine import SearchBudget, SearchEngine, SearchResult, EvalRecord
+from repro.search.evaluation import (
+    CacheStats,
+    DesignCache,
+    EvaluationRuntime,
+    StagedEvaluator,
+)
 from repro.search.mlmodel import GradientBoostedTrees, RegressionTree
 from repro.search.annealing import AnnealingSchedule
 from repro.search.pruning import PruningRules, default_rules
@@ -20,6 +26,10 @@ __all__ = [
     "SearchEngine",
     "SearchResult",
     "EvalRecord",
+    "CacheStats",
+    "DesignCache",
+    "EvaluationRuntime",
+    "StagedEvaluator",
     "GradientBoostedTrees",
     "RegressionTree",
     "AnnealingSchedule",

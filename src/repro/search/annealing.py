@@ -75,3 +75,17 @@ class AnnealingSchedule:
     def reset(self) -> None:
         self._temperature = self.initial_temperature
         self._since_improvement = 0
+
+    def clone(self) -> "AnnealingSchedule":
+        """Fresh schedule with the same hyper-parameters.
+
+        The search engine clones its schedule template per search so the
+        engine itself carries no per-search mutable state and concurrent
+        searches cannot corrupt each other's cooling trajectories.
+        """
+        return AnnealingSchedule(
+            initial_temperature=self.initial_temperature,
+            cooling=self.cooling,
+            min_temperature=self.min_temperature,
+            patience=self.patience,
+        )

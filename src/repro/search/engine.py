@@ -8,13 +8,25 @@ re-measuring only the model's top picks.  Simulated annealing governs early
 termination of the first two levels; every invalid candidate (dependency
 violation, semantic reduction failure, wrong numeric result) scores zero and
 is recorded, mirroring how the real system discards non-compiling kernels.
+
+Candidate evaluation is delegated to the staged runtime of
+:mod:`repro.search.evaluation`: design leaves are computed once per
+structure signature and reused across the whole runtime-parameter grid
+(content-addressed :class:`~repro.search.evaluation.DesignCache`), and a
+structure's parameter grid is evaluated as an ordered batch over an
+optional worker pool (``SearchBudget.jobs``).  The engine itself holds no
+per-search mutable state — schedules and RNGs are created per
+:meth:`SearchEngine.search` call — so one engine (one cache, one pool) can
+drive many searches, including the collection-level
+:meth:`SearchEngine.search_many` driver used by the CLI and the benchmark
+harness.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -26,6 +38,12 @@ from repro.core.optimizer import ModelDrivenCompressor
 from repro.gpu.arch import GPUSpec
 from repro.gpu.executor import PlanValidationError
 from repro.search.annealing import AnnealingSchedule
+from repro.search.evaluation import (
+    DesignCache,
+    EvaluationRuntime,
+    StagedEvaluator,
+    matrix_token,
+)
 from repro.search.mlmodel import GradientBoostedTrees, mean_absolute_deviation
 from repro.search.pruning import PruningRules, default_rules
 from repro.search.space import (
@@ -48,7 +66,19 @@ class SearchBudget:
 
     The paper caps searches at 8 hours of kernel runs; here the analogous
     hard caps are evaluation counts (each evaluation builds and runs one
-    generated program).
+    generated program).  ``max_total_evals`` bounds coarse *and* fine
+    evaluations together.  ``jobs`` selects the evaluation worker count:
+    1 is a deterministic serial loop, >1 evaluates each structure's
+    parameter batch on a thread pool — identical results, less wall
+    clock, for count-budgeted searches.  With ``time_limit_s`` set the
+    evaluation count at the deadline depends on wall clock (and, pooled,
+    on batches completing in flight), so time-limited histories are not
+    reproducible under any ``jobs`` setting.
+
+    ``ml_min_samples`` defaults to the size of the coarse runtime grid
+    (``SET_RESOURCES``: 3 thread counts x 2 work grains) — the sample
+    count a structure's stratified coarse batch produces, so the fine
+    level stays reachable under the default budget.
     """
 
     max_structures: int = 24
@@ -56,8 +86,9 @@ class SearchBudget:
     max_total_evals: int = 320
     ml_top_k: int = 5
     ml_fine_cap: int = 256
-    ml_min_samples: int = 8
+    ml_min_samples: int = 6
     time_limit_s: Optional[float] = None
+    jobs: int = 1
 
 
 @dataclass
@@ -89,6 +120,12 @@ class SearchResult:
     banned_operators: Set[str]
     ml_mad: Optional[float]
     wall_time_s: float
+    #: staged-runtime accounting (per search): Designer executions and the
+    #: design-cache hit/miss counters that verify cached design reuse.
+    designer_runs: int = 0
+    design_cache_hits: int = 0
+    design_cache_misses: int = 0
+    jobs: int = 1
 
     @property
     def best_time_s(self) -> float:
@@ -98,9 +135,43 @@ class SearchResult:
             2.0 * self.best_program.useful_nnz / (self.best_gflops * 1e9)
         )
 
+    @property
+    def design_cache_hit_rate(self) -> float:
+        lookups = self.design_cache_hits + self.design_cache_misses
+        return self.design_cache_hits / lookups if lookups else 0.0
+
+
+@dataclass
+class _SearchState:
+    """Per-search mutable state (never stored on the engine)."""
+
+    start: float
+    budget: SearchBudget
+    token: Tuple
+    x: np.ndarray
+    reference: np.ndarray
+    history: List[EvalRecord] = field(default_factory=list)
+    evals: int = 0
+    best_gflops: float = 0.0
+    best_graph: Optional[OperatorGraph] = None
+    best_program: Optional[GeneratedProgram] = None
+
+    def time_up(self) -> bool:
+        return (
+            self.budget.time_limit_s is not None
+            and time.perf_counter() - self.start > self.budget.time_limit_s
+        )
+
+    def out_of_budget(self) -> bool:
+        return self.evals >= self.budget.max_total_evals or self.time_up()
+
 
 class SearchEngine:
-    """Drives AlphaSparse: enumerate, measure, interpolate, stop."""
+    """Drives AlphaSparse: enumerate, measure, interpolate, stop.
+
+    Safe to reuse (and, with ``jobs > 1``, shares one worker pool and one
+    design cache) across many searches; see :meth:`search_many`.
+    """
 
     def __init__(
         self,
@@ -112,11 +183,14 @@ class SearchEngine:
         seed: int = 0,
         enable_extensions: bool = False,
         enable_seeding: bool = True,
+        enable_design_cache: bool = True,
+        runtime: Optional[EvaluationRuntime] = None,
     ) -> None:
         self.gpu = gpu
         self.budget = budget or SearchBudget()
         self.pruning = pruning if pruning is not None else default_rules()
         self.enable_pruning = enable_pruning
+        #: template only — cloned per search so the engine stays stateless
         self.annealing = annealing or AnnealingSchedule()
         self.seed = seed
         #: opt in to the paper's future-work operators (SecVII-H HYB
@@ -126,11 +200,58 @@ class SearchEngine:
         #: (ablatable design choice; see benchmarks/test_abl_seeding.py)
         self.enable_seeding = enable_seeding
         self.builder = KernelBuilder(compressor=ModelDrivenCompressor())
+        #: content-addressed Designer-output cache (None = ablated)
+        self.cache: Optional[DesignCache] = (
+            DesignCache() if enable_design_cache else None
+        )
+        self.evaluator = StagedEvaluator(self.builder, cache=self.cache)
+        #: ``runtime`` injection lets many engines share one worker pool
+        #: (the benchmark harness does this); an injected runtime is the
+        #: caller's to close.
+        self._owns_runtime = runtime is None
+        self.runtime = runtime or EvaluationRuntime(jobs=self.budget.jobs)
 
     # ------------------------------------------------------------------
-    def search(self, matrix: SparseMatrix) -> SearchResult:
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial engines and for
+        engines using an injected, caller-owned runtime)."""
+        if self._owns_runtime:
+            self.runtime.close()
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def search_many(
+        self,
+        matrices: Iterable[SparseMatrix],
+        seeds: Optional[Sequence[int]] = None,
+    ) -> List[SearchResult]:
+        """Collection-level driver: search every matrix with this engine.
+
+        All searches share the engine's design cache and worker pool —
+        the way the benchmark harness reproduces whole paper figures.
+        ``seeds`` optionally overrides the engine seed per matrix.
+        """
+        matrices = list(matrices)
+        if seeds is not None and len(seeds) != len(matrices):
+            raise ValueError("seeds must match matrices in length")
+        return [
+            self.search(m, seed=None if seeds is None else seeds[i])
+            for i, m in enumerate(matrices)
+        ]
+
+    # ------------------------------------------------------------------
+    def search(
+        self, matrix: SparseMatrix, seed: Optional[int] = None
+    ) -> SearchResult:
         start = time.perf_counter()
-        rng = np.random.default_rng(self.seed)
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        cache_before = self.cache.stats() if self.cache is not None else None
+        designer_before = self.builder.designer.executions
         banned = (
             self.pruning.ban_list(matrix.stats) if self.enable_pruning else set()
         )
@@ -139,31 +260,21 @@ class SearchEngine:
             seed=int(rng.integers(2**31)),
             extensions=self.enable_extensions,
         )
-        schedule = self.annealing
-        schedule.reset()
+        schedule = self.annealing.clone()
 
         x = np.random.default_rng(0x5EED).random(matrix.n_cols)
-        reference = matrix.spmv_reference(x)
+        state = _SearchState(
+            start=start,
+            budget=self.budget,
+            token=matrix_token(matrix),
+            x=x,
+            reference=matrix.spmv_reference(x),
+        )
 
-        history: List[EvalRecord] = []
-        best_gflops = 0.0
-        best_graph: Optional[OperatorGraph] = None
-        best_program: Optional[GeneratedProgram] = None
         incumbent_score = 0.0
         seen_structures: Set[Tuple] = set()
         structure_store: Dict[Tuple, SampledStructure] = {}
-        evals = 0
         structures_tried = 0
-
-        def out_of_budget() -> bool:
-            if evals >= self.budget.max_total_evals:
-                return True
-            if (
-                self.budget.time_limit_s is not None
-                and time.perf_counter() - start > self.budget.time_limit_s
-            ):
-                return True
-            return False
 
         # Level 1 visits the source-format archetypes first (the search
         # space contains every format of Table II by construction), then
@@ -175,7 +286,10 @@ class SearchEngine:
         )
 
         # ---------------- Levels 1 + 2 ----------------
-        while structures_tried < self.budget.max_structures and not out_of_budget():
+        while (
+            structures_tried < self.budget.max_structures
+            and not state.out_of_budget()
+        ):
             # Paper footnote 10: the "no pruning" baseline removes simulated
             # annealing too, so early termination is part of the pruned
             # configuration.
@@ -202,62 +316,45 @@ class SearchEngine:
                 cap=self.budget.coarse_evals_per_structure,
                 rng=rng,
             )
-            structure_best = 0.0
-            for assignment in assignments:
-                if out_of_budget():
-                    break
-                gflops, program, error = self._evaluate(
-                    matrix, proposal, assignment, x, reference
-                )
-                evals += 1
-                history.append(
-                    EvalRecord(
-                        iteration=evals,
-                        structure_sig=proposal.signature,
-                        assignment=dict(assignment),
-                        gflops=gflops,
-                        valid=error == "",
-                        level="coarse",
-                        error=error,
-                    )
-                )
-                structure_best = max(structure_best, gflops)
-                if gflops > best_gflops:
-                    best_gflops = gflops
-                    best_graph = graph_with_params(
-                        proposal.graph, assignment, proposal.locks
-                    )
-                    best_program = program
+            structure_best = self._measure_batch(
+                matrix, proposal, assignments, state, level="coarse"
+            )
 
             improved = structure_best > incumbent_score
             if schedule.accept(structure_best, incumbent_score, rng):
                 incumbent_score = max(incumbent_score, structure_best)
             schedule.step(improved)
 
-        coarse_iterations = evals
+        coarse_iterations = state.evals
 
         # ---------------- Level 3: ML interpolation ----------------
         ml_mad: Optional[float] = None
-        if best_graph is not None and not out_of_budget():
-            ml_mad, refined = self._ml_level(
-                matrix, history, structure_store, x, reference, rng, coarse_iterations
-            )
-            if refined is not None and refined[0] > best_gflops:
-                best_gflops, best_graph, best_program = refined
+        if state.best_graph is not None and not state.out_of_budget():
+            ml_mad = self._ml_level(matrix, state, structure_store, rng)
 
+        designer_runs = self.builder.designer.executions - designer_before
+        cache_delta = (
+            self.cache.stats().since(cache_before)
+            if cache_before is not None
+            else None
+        )
         return SearchResult(
             matrix_name=matrix.name,
             gpu_name=self.gpu.name,
-            best_gflops=best_gflops,
-            best_graph=best_graph,
-            best_program=best_program,
-            history=history,
+            best_gflops=state.best_gflops,
+            best_graph=state.best_graph,
+            best_program=state.best_program,
+            history=state.history,
             coarse_iterations=coarse_iterations,
-            total_evaluations=len(history),
+            total_evaluations=len(state.history),
             structures_tried=structures_tried,
             banned_operators=banned,
             ml_mad=ml_mad,
             wall_time_s=time.perf_counter() - start,
+            designer_runs=designer_runs,
+            design_cache_hits=cache_delta.hits if cache_delta else 0,
+            design_cache_misses=cache_delta.misses if cache_delta else 0,
+            jobs=self.runtime.jobs,
         )
 
     # ------------------------------------------------------------------
@@ -271,20 +368,67 @@ class SearchEngine:
         return None
 
     # ------------------------------------------------------------------
+    def _measure_batch(
+        self,
+        matrix: SparseMatrix,
+        proposal: SampledStructure,
+        assignments: Sequence[Dict],
+        state: _SearchState,
+        level: str,
+    ) -> float:
+        """Evaluate a structure's parameter assignments as one batch.
+
+        The batch is truncated to the remaining evaluation budget up front
+        (so ``max_total_evals`` holds under any worker count) and results
+        fold into the search state in submission order, keeping histories
+        byte-identical between serial and pooled execution.  Returns the
+        best GFLOPS seen in the batch.
+        """
+        room = self.budget.max_total_evals - state.evals
+        batch = list(assignments)[: max(0, room)]
+
+        def run(assignment: Dict):
+            return self._evaluate(matrix, proposal, assignment, state)
+
+        results = self.runtime.map(run, batch, stop=state.time_up)
+
+        batch_best = 0.0
+        for assignment, (gflops, program, error) in zip(batch, results):
+            state.evals += 1
+            state.history.append(
+                EvalRecord(
+                    iteration=state.evals,
+                    structure_sig=proposal.signature,
+                    assignment=dict(assignment),
+                    gflops=gflops,
+                    valid=error == "",
+                    level=level,
+                    error=error,
+                )
+            )
+            batch_best = max(batch_best, gflops)
+            if gflops > state.best_gflops:
+                state.best_gflops = gflops
+                state.best_graph = graph_with_params(
+                    proposal.graph, assignment, proposal.locks
+                )
+                state.best_program = program
+        return batch_best
+
+    # ------------------------------------------------------------------
     def _evaluate(
         self,
         matrix: SparseMatrix,
         proposal: SampledStructure,
         assignment: Dict,
-        x: np.ndarray,
-        reference: np.ndarray,
+        state: _SearchState,
     ) -> Tuple[float, Optional[GeneratedProgram], str]:
         """Build + run one candidate; invalid candidates score 0."""
         try:
             graph = graph_with_params(proposal.graph, assignment, proposal.locks)
-            program = self.builder.build(matrix, graph)
-            result = program.run(x, self.gpu)
-            if not np.allclose(result.y, reference, rtol=1e-9, atol=1e-9):
+            program = self.evaluator.build(matrix, graph, token=state.token)
+            result = program.run(state.x, self.gpu)
+            if not np.allclose(result.y, state.reference, rtol=1e-9, atol=1e-9):
                 return 0.0, None, "numeric mismatch"
             return float(result.gflops), program, ""
         except (
@@ -299,17 +443,18 @@ class SearchEngine:
     def _ml_level(
         self,
         matrix: SparseMatrix,
-        history: List[EvalRecord],
+        state: _SearchState,
         structure_store: Dict[Tuple, SampledStructure],
-        x: np.ndarray,
-        reference: np.ndarray,
         rng: np.random.Generator,
-        iteration_base: int,
-    ) -> Tuple[Optional[float], Optional[Tuple[float, OperatorGraph, GeneratedProgram]]]:
-        """Fit the GBT model per best structure, probe the fine grid."""
-        valid = [r for r in history if r.valid and r.level == "coarse"]
+    ) -> Optional[float]:
+        """Fit the GBT model per best structure, probe the fine grid.
+
+        Fine evaluations continue the global iteration numbering and draw
+        from the same ``max_total_evals`` budget as the coarse level.
+        """
+        valid = [r for r in state.history if r.valid and r.level == "coarse"]
         if not valid:
-            return None, None
+            return None
         # Best structure by measured coarse performance.
         best_by_structure: Dict[Tuple, float] = {}
         for rec in valid:
@@ -319,8 +464,9 @@ class SearchEngine:
         ranked = sorted(best_by_structure, key=best_by_structure.get, reverse=True)
 
         mad: Optional[float] = None
-        best_refined: Optional[Tuple[float, OperatorGraph, GeneratedProgram]] = None
         for sig in ranked[:2]:
+            if state.out_of_budget():
+                break
             proposal = structure_store[sig]
             slots = param_slots(proposal.graph, proposal.locks)
             if not slots:
@@ -355,32 +501,19 @@ class SearchEngine:
                 continue
             Xf = np.stack([features_for(slots, a) for a in fine])
             pred = model.predict(Xf)
-            top = np.argsort(-pred)[: self.budget.ml_top_k]
-            for rank, idx in enumerate(top):
-                assignment = fine[int(idx)]
-                gflops, program, error = self._evaluate(
-                    matrix, proposal, assignment, x, reference
-                )
-                history.append(
-                    EvalRecord(
-                        iteration=iteration_base + rank + 1,
-                        structure_sig=sig,
-                        assignment=dict(assignment),
-                        gflops=gflops,
-                        valid=error == "",
-                        level="fine",
-                        error=error,
-                    )
-                )
-                if program is not None and (
-                    best_refined is None or gflops > best_refined[0]
-                ):
-                    best_refined = (
-                        gflops,
-                        graph_with_params(proposal.graph, assignment, proposal.locks),
-                        program,
-                    )
-        return mad, best_refined
+            # Stable sort: tied predictions resolve to enumeration order,
+            # which lists design-relevant combinations in contiguous blocks
+            # — tied fine probes then share design leaves with one another
+            # (and with the coarse level) through the design cache.
+            top = np.argsort(-pred, kind="stable")[: self.budget.ml_top_k]
+            self._measure_batch(
+                matrix,
+                proposal,
+                [fine[int(idx)] for idx in top],
+                state,
+                level="fine",
+            )
+        return mad
 
     @staticmethod
     def _key_assign(assignment: Dict) -> Dict:

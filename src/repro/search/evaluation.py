@@ -1,0 +1,287 @@
+"""Staged evaluation runtime: cached design reuse + parallel evaluation.
+
+The three-level search evaluates hundreds of candidate designs per matrix.
+Most of those candidates share a graph *structure* and differ only in
+scalar parameters, yet a naive evaluator re-runs the Designer over the full
+metadata set for every one of them.  This module makes candidate evaluation
+a first-class subsystem with three pieces:
+
+:class:`DesignCache`
+    Content-addressed cache of Designer output keyed on
+    ``(matrix token, design signature)`` — the matrix's content hash plus
+    the graph identity with runtime-only parameters masked (see
+    :func:`repro.core.kernel.builder.design_signature`).  Hit/miss counters
+    are surfaced in :class:`~repro.search.engine.SearchResult`.  Concurrent
+    misses of the same key run the Designer exactly once (per-entry locks),
+    so counters are deterministic under any worker count.
+
+:class:`StagedEvaluator`
+    Splits ``KernelBuilder.build`` into the structure-level design phase
+    (cached) and the parameter-level plan-assembly phase (run per
+    candidate).  With ``cache=None`` it degrades to the plain uncached
+    build, which the engine's ``enable_design_cache=False`` ablation uses.
+
+:class:`EvaluationRuntime`
+    Maps an evaluation function over a candidate batch — a
+    ``concurrent.futures`` thread pool when ``jobs > 1``, a deterministic
+    serial loop otherwise.  Results always return in submission order, so
+    search trajectories are identical for every ``jobs`` setting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.core.designer import DesignError, DesignLeaf
+from repro.core.graph import OperatorGraph
+from repro.core.kernel.builder import KernelBuilder, design_signature
+from repro.core.kernel.program import GeneratedProgram
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = [
+    "CacheStats",
+    "DesignCache",
+    "StagedEvaluator",
+    "EvaluationRuntime",
+    "matrix_token",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def matrix_token(matrix: SparseMatrix) -> Tuple:
+    """Content-address of a matrix: name, shape and a triplet digest.
+
+    Hashing the triplets (rather than trusting ``matrix.name``) keeps a
+    shared multi-matrix cache safe for anonymous or same-named matrices.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for arr in (matrix.rows, matrix.cols, matrix.vals):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return (matrix.name, matrix.n_rows, matrix.n_cols, matrix.nnz, h.hexdigest())
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one :class:`DesignCache` (misses == Designer executions)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def since(self, other: "CacheStats") -> "CacheStats":
+        """Delta of two snapshots (per-search accounting)."""
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+        )
+
+
+class _CacheEntry:
+    """One cache slot; ``lock`` serialises the first (designing) caller."""
+
+    __slots__ = ("lock", "leaves", "error", "done")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.leaves: Optional[List[DesignLeaf]] = None
+        self.error: Optional[str] = None
+        self.done = False
+
+
+class DesignCache:
+    """Thread-safe LRU cache of design-phase output.
+
+    Failed designs (:class:`DesignError`) are cached too — the search
+    records the same dead candidate for every parameter assignment of a
+    structurally invalid graph, and re-running the Designer to rediscover
+    the failure would forfeit most of the caching win.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return replace(self._stats)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def get_or_design(
+        self, key: Tuple, factory: Callable[[], List[DesignLeaf]]
+    ) -> List[DesignLeaf]:
+        """Return the cached leaves for ``key``, running ``factory`` at most
+        once per key across all threads."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _CacheEntry()
+                self._entries[key] = entry
+            else:
+                self._entries.move_to_end(key)
+        with entry.lock:
+            if not entry.done:
+                try:
+                    entry.leaves = factory()
+                except DesignError as exc:
+                    entry.error = str(exc)
+                except BaseException:
+                    # Unexpected failure: drop the slot so later calls retry.
+                    with self._lock:
+                        if self._entries.get(key) is entry:
+                            del self._entries[key]
+                    raise
+                entry.done = True
+                with self._lock:
+                    self._stats = replace(self._stats, misses=self._stats.misses + 1)
+                    self._evict_locked()
+            else:
+                with self._lock:
+                    self._stats = replace(self._stats, hits=self._stats.hits + 1)
+        if entry.error is not None:
+            raise DesignError(entry.error)
+        assert entry.leaves is not None
+        return entry.leaves
+
+    def _evict_locked(self) -> None:
+        """Drop least-recently-used *completed* entries beyond capacity."""
+        evicted = 0
+        for key in list(self._entries):
+            if len(self._entries) <= self.max_entries:
+                break
+            if self._entries[key].done:
+                del self._entries[key]
+                evicted += 1
+        if evicted:
+            self._stats = replace(
+                self._stats, evictions=self._stats.evictions + evicted
+            )
+
+
+class StagedEvaluator:
+    """Two-phase candidate builds: cached design + per-candidate assembly."""
+
+    def __init__(
+        self, builder: KernelBuilder, cache: Optional[DesignCache] = None
+    ) -> None:
+        self.builder = builder
+        self.cache = cache
+
+    def build(
+        self,
+        matrix: SparseMatrix,
+        graph: OperatorGraph,
+        token: Optional[Tuple] = None,
+    ) -> GeneratedProgram:
+        """Build one candidate program, reusing cached design leaves.
+
+        ``token`` is the precomputed :func:`matrix_token` — pass it when
+        evaluating many candidates of one matrix to hash the triplets once
+        per search instead of once per candidate.
+        """
+        if self.cache is None:
+            return self.builder.build(matrix, graph)
+        key = (token or matrix_token(matrix), design_signature(graph))
+        leaves = self.cache.get_or_design(
+            key, lambda: self.builder.design_phase(matrix, graph)
+        )
+        return self.builder.assembly_phase(matrix, graph, leaves)
+
+
+class EvaluationRuntime:
+    """Ordered batch evaluation with an optional shared worker pool.
+
+    ``jobs == 1`` (the default) is a plain serial loop; ``jobs > 1`` lazily
+    creates one ``ThreadPoolExecutor`` that is reused across every batch —
+    and, via :meth:`SearchEngine.search_many`, across every matrix of a
+    collection.  Both paths return results in submission order, and
+    evaluation tasks draw no random numbers, so search results are
+    identical for every ``jobs`` setting — except under a wall-clock
+    ``stop`` condition (``SearchBudget.time_limit_s``): the serial loop
+    polls ``stop`` between items and may cut a batch short, while the
+    pooled path checks it once and lets a dispatched batch finish.
+    Time-limited runs are wall-clock-dependent and not reproducible even
+    serially, so only count-budgeted searches carry the identity guarantee.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = int(jobs)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        items: Sequence[_T],
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> List[_R]:
+        """Apply ``fn`` to every item, in order.
+
+        ``stop`` is polled between items on the serial path (time-budget
+        checks); on the pooled path it is checked once before dispatch —
+        a batch in flight always completes.
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            out: List[_R] = []
+            for item in items:
+                if stop is not None and stop():
+                    break
+                out.append(fn(item))
+            return out
+        if stop is not None and stop():
+            return []
+        return list(self._ensure_pool().map(fn, items))
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.jobs, thread_name_prefix="repro-eval"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "EvaluationRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.graph import GraphNode, OperatorGraph
+from repro.core.kernel.builder import RUNTIME_PARAM_OPS
 from repro.core.operators import get_operator
 
 __all__ = [
@@ -338,6 +339,16 @@ def enumerate_param_grid(
 
     The default assignment (all-first grid values) is always included first,
     so every structure gets at least one canonical measurement.
+
+    When the product exceeds ``cap``, sampling is *stratified by design
+    relevance*: parameters of runtime-only operators (``SET_RESOURCES``,
+    see :data:`repro.core.kernel.builder.RUNTIME_PARAM_OPS`) are crossed in
+    full against a small pool of design-relevant combinations.  Design
+    leaves depend only on the design-relevant parameters, so every batch
+    enumerated this way re-runs the Designer once per pool entry and the
+    staged evaluator's cache serves the rest — design-parameter exploration
+    happens across structures and through the fine level instead of inside
+    one coarse batch.
     """
     if level not in ("coarse", "fine"):
         raise ValueError("level must be 'coarse' or 'fine'")
@@ -352,19 +363,43 @@ def enumerate_param_grid(
     if total <= cap:
         product = itertools.product(*grids)
         return [dict(zip(keys, combo)) for combo in product]
+
+    op_names = [node.op_name for node in graph.walk()]
+    is_runtime = [op_names[key[0]] in RUNTIME_PARAM_OPS for key in keys]
+    design_grids = [g for g, rt in zip(grids, is_runtime) if not rt]
+    runtime_grids = [g for g, rt in zip(grids, is_runtime) if rt]
+    n_runtime = 1
+    for g in runtime_grids:
+        n_runtime *= len(g)
+    n_design_total = 1
+    for g in design_grids:
+        n_design_total *= len(g)
+
     rng = rng or np.random.default_rng(0)
-    assignments: List[Dict[ParamKey, object]] = [
-        {key: grid[0] for key, grid in zip(keys, grids)}
-    ]
-    seen = {tuple(assignments[0].values())}
+    # Design-combo pool: canonical defaults first, then distinct samples.
+    pool: List[Tuple[object, ...]] = [tuple(g[0] for g in design_grids)]
+    seen = {pool[0]}
+    max_design = min(max(1, cap // n_runtime), n_design_total)
     attempts = 0
-    while len(assignments) < cap and attempts < cap * 20:
-        combo = tuple(grid[rng.integers(len(grid))] for grid in grids)
+    while len(pool) < max_design and attempts < cap * 20:
+        combo = tuple(g[rng.integers(len(g))] for g in design_grids)
         attempts += 1
         if combo in seen:
             continue
         seen.add(combo)
-        assignments.append(dict(zip(keys, combo)))
+        pool.append(combo)
+
+    assignments: List[Dict[ParamKey, object]] = []
+    for design_combo in pool:
+        for runtime_combo in itertools.product(*runtime_grids):
+            design_it = iter(design_combo)
+            runtime_it = iter(runtime_combo)
+            values = [
+                next(runtime_it) if rt else next(design_it) for rt in is_runtime
+            ]
+            assignments.append(dict(zip(keys, values)))
+            if len(assignments) == cap:
+                return assignments
     return assignments
 
 

@@ -78,3 +78,31 @@ class TestSearch:
     def test_unknown_gpu_fails(self, mtx_file):
         with pytest.raises(KeyError):
             main(["search", mtx_file, "--gpu", "H100", "--evals", "4"])
+
+    def test_jobs_flag(self, mtx_file, capsys):
+        assert main(["search", mtx_file, "--evals", "16", "--jobs", "2"]) == 0
+        assert "design cache" in capsys.readouterr().out
+
+    def test_multi_matrix_summary(self, mtx_file, capsys):
+        code = main([
+            "search", mtx_file, "@scfxm1-2r", "--evals", "16", "--jobs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Search summary" in out
+        assert "cache hit" in out
+        assert "scfxm1-2r" in out
+
+    def test_no_valid_candidate_reports_cleanly(self, mtx_file, capsys):
+        assert main(["search", mtx_file, "--evals", "0"]) == 1
+        assert "no valid candidate" in capsys.readouterr().out
+
+    def test_multi_matrix_export(self, mtx_file, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        code = main([
+            "search", mtx_file, "@scfxm1-2r", "--evals", "12",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        exported = list(out_dir.glob("*/manifest.json"))
+        assert len(exported) == 2

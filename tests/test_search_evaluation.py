@@ -1,0 +1,345 @@
+"""Staged evaluation runtime tests: cached design reuse, parallel batches.
+
+The acceptance bar for the staged runtime: a search with the design cache
+and/or the parallel executor enabled must be *indistinguishable* from the
+serial uncached search — identical best GFLOPS, history and winning graph —
+while running the Designer at least 5x less often.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.designer import DesignError, Designer
+from repro.core.graph import OperatorGraph
+from repro.core.kernel.builder import (
+    KernelBuilder,
+    design_graph,
+    design_signature,
+    runtime_nodes_for_leaf,
+)
+from repro.gpu import A100
+from repro.search import DesignCache, EvaluationRuntime, SearchBudget, SearchEngine
+from repro.search.evaluation import StagedEvaluator, matrix_token
+from repro.sparse import banded_matrix, power_law_matrix
+
+
+SMALL_BUDGET = SearchBudget(
+    max_structures=8, coarse_evals_per_structure=4, max_total_evals=50, ml_top_k=3
+)
+
+
+def _engine(jobs=1, cache=True, seed=3, budget=SMALL_BUDGET):
+    return SearchEngine(
+        A100,
+        budget=SearchBudget(
+            max_structures=budget.max_structures,
+            coarse_evals_per_structure=budget.coarse_evals_per_structure,
+            max_total_evals=budget.max_total_evals,
+            ml_top_k=budget.ml_top_k,
+            jobs=jobs,
+        ),
+        seed=seed,
+        enable_design_cache=cache,
+    )
+
+
+def _history_tuple(result):
+    return [
+        (r.iteration, r.structure_sig, tuple(sorted(map(str, r.assignment.items()))),
+         r.gflops, r.valid, r.level, r.error)
+        for r in result.history
+    ]
+
+
+class TestCacheCorrectness:
+    """Cache-on and cache-off searches must be byte-identical."""
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return power_law_matrix(512, avg_degree=8, seed=2, name="eval_irregular")
+
+    @pytest.fixture(scope="class")
+    def cached(self, matrix):
+        return _engine(cache=True).search(matrix)
+
+    @pytest.fixture(scope="class")
+    def uncached(self, matrix):
+        return _engine(cache=False).search(matrix)
+
+    def test_identical_best_gflops(self, cached, uncached):
+        assert cached.best_gflops == uncached.best_gflops  # exact, not approx
+
+    def test_identical_history(self, cached, uncached):
+        assert _history_tuple(cached) == _history_tuple(uncached)
+
+    def test_identical_best_graph_signature(self, cached, uncached):
+        assert cached.best_graph.signature() == uncached.best_graph.signature()
+
+    def test_counters_surfaced(self, cached, uncached):
+        assert cached.design_cache_hits + cached.design_cache_misses == \
+            cached.total_evaluations
+        assert cached.designer_runs == cached.design_cache_misses
+        assert uncached.design_cache_hits == 0
+        assert uncached.designer_runs == uncached.total_evaluations
+
+
+class TestParallelDeterminism:
+    """--jobs N must produce seed-stable, jobs-independent results."""
+
+    def test_jobs_match_serial(self):
+        m = banded_matrix(640, bandwidth=4, seed=2, name="eval_regular")
+        serial = _engine(jobs=1).search(m)
+        with _engine(jobs=4) as engine:
+            parallel = engine.search(m)
+        assert parallel.best_gflops == serial.best_gflops
+        assert _history_tuple(parallel) == _history_tuple(serial)
+        assert parallel.designer_runs == serial.designer_runs
+        assert parallel.design_cache_hits == serial.design_cache_hits
+        assert parallel.jobs == 4
+
+    def test_runtime_map_orders_results(self):
+        with EvaluationRuntime(jobs=3) as runtime:
+            out = runtime.map(lambda v: v * v, list(range(20)))
+        assert out == [v * v for v in range(20)]
+
+    def test_runtime_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            EvaluationRuntime(jobs=0)
+
+    def test_injected_runtime_shared_and_caller_owned(self):
+        m = banded_matrix(256, bandwidth=3, seed=1, name="shared_rt")
+        with EvaluationRuntime(jobs=2) as runtime:
+            first = SearchEngine(
+                A100, budget=SMALL_BUDGET, seed=3, runtime=runtime
+            )
+            second = SearchEngine(
+                A100, budget=SMALL_BUDGET, seed=3, runtime=runtime
+            )
+            assert first.runtime is second.runtime
+            res = first.search(m)
+            first.close()  # must NOT shut down the caller's pool
+            assert second.search(m).best_gflops == res.best_gflops
+
+
+class TestDesignerRunReduction:
+    def test_at_least_5x_fewer_designer_runs(self):
+        """Acceptance criterion: >=5x on a standard SearchBudget."""
+        m = power_law_matrix(512, avg_degree=8, seed=2, name="eval_ratio")
+        cached = SearchEngine(A100, budget=SearchBudget(), seed=0).search(m)
+        # Uncached baseline runs the Designer once per evaluation.
+        assert cached.designer_runs * 5 <= cached.total_evaluations
+        assert cached.design_cache_hit_rate >= 0.8
+
+
+class TestBudgetAndNumbering:
+    """Satellite fixes: fine level obeys budgets and iteration ids."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        m = power_law_matrix(512, avg_degree=8, seed=2, name="eval_budget")
+        return _engine(seed=1).search(m)
+
+    def test_iteration_ids_unique_and_contiguous(self, result):
+        assert [r.iteration for r in result.history] == list(
+            range(1, len(result.history) + 1)
+        )
+
+    def test_fine_level_counts_against_budget(self):
+        m = power_law_matrix(512, avg_degree=8, seed=2, name="eval_cap")
+        budget = SearchBudget(
+            max_structures=8, coarse_evals_per_structure=4, max_total_evals=20
+        )
+        res = SearchEngine(A100, budget=budget, seed=1).search(m)
+        assert res.total_evaluations <= budget.max_total_evals
+        assert len(res.history) <= budget.max_total_evals
+
+
+class TestStagedBuildEquivalence:
+    """design_phase + assembly_phase == the one-shot unstaged build."""
+
+    GRAPHS = [
+        ["COMPRESS", ("BMT_ROW_BLOCK", {"rows_per_block": 1}),
+         ("SET_RESOURCES", {"threads_per_block": 512, "work_per_thread": 4}),
+         "THREAD_TOTAL_RED", "GMEM_DIRECT_STORE"],
+        ["COMPRESS", ("SET_RESOURCES", {"threads_per_block": 256,
+                                        "work_per_thread": 8}),
+         "GMEM_ATOM_RED"],
+    ]
+
+    @pytest.mark.parametrize("ops", GRAPHS, ids=["bmt-row", "coo"])
+    def test_matches_unstaged_reference(self, small_regular, ops):
+        graph = OperatorGraph.from_names(ops)
+        builder = KernelBuilder()
+        staged = builder.build(small_regular, graph)
+        # Unstaged reference: run the Designer on the fully-parameterised
+        # graph (the pre-refactor behaviour) and build each leaf directly.
+        leaves = Designer().design(small_regular, graph)
+        units = [builder.build_unit(leaf) for leaf in leaves]
+        assert len(staged.kernels) == len(units)
+        for got, want in zip(staged.kernels, units):
+            assert got.plan.threads_per_block == want.plan.threads_per_block
+            assert got.plan.n_threads == want.plan.n_threads
+            np.testing.assert_array_equal(got.plan.thread_of_nz,
+                                          want.plan.thread_of_nz)
+            assert got.source == want.source
+        x = np.random.default_rng(7).random(small_regular.n_cols)
+        np.testing.assert_allclose(
+            staged.run(x, A100).y, small_regular.spmv_reference(x),
+            rtol=1e-9, atol=1e-9,
+        )
+
+    def test_runtime_reapply_rejects_bad_params(self, small_regular):
+        graph = OperatorGraph.from_names([
+            "COMPRESS",
+            ("SET_RESOURCES", {"threads_per_block": 100}),
+            "GMEM_ATOM_RED",
+        ])
+        with pytest.raises(DesignError, match="SET_RESOURCES"):
+            KernelBuilder().build(small_regular, graph)
+
+
+class TestDesignSignature:
+    def test_runtime_params_masked(self):
+        a = OperatorGraph.from_names([
+            "COMPRESS", ("SET_RESOURCES", {"threads_per_block": 128}),
+            "GMEM_ATOM_RED"])
+        b = OperatorGraph.from_names([
+            "COMPRESS", ("SET_RESOURCES", {"threads_per_block": 512}),
+            "GMEM_ATOM_RED"])
+        assert design_signature(a) == design_signature(b)
+
+    def test_design_params_distinguish(self):
+        a = OperatorGraph.from_names([
+            "COMPRESS", ("BMT_ROW_BLOCK", {"rows_per_block": 1}),
+            "SET_RESOURCES", "GMEM_ATOM_RED"])
+        b = OperatorGraph.from_names([
+            "COMPRESS", ("BMT_ROW_BLOCK", {"rows_per_block": 2}),
+            "SET_RESOURCES", "GMEM_ATOM_RED"])
+        assert design_signature(a) != design_signature(b)
+
+    def test_design_graph_resets_runtime_params(self):
+        g = OperatorGraph.from_names([
+            "COMPRESS", ("SET_RESOURCES", {"threads_per_block": 1024}),
+            "GMEM_ATOM_RED"])
+        canonical = design_graph(g)
+        node = next(n for n in canonical.walk() if n.op_name == "SET_RESOURCES")
+        assert node.params == node.operator.default_params()
+        # original untouched
+        orig = next(n for n in g.walk() if n.op_name == "SET_RESOURCES")
+        assert orig.params["threads_per_block"] == 1024
+
+    def test_runtime_nodes_follow_branch_paths(self, small_irregular):
+        graph = OperatorGraph.from_names([
+            "ROW_DIV", "COMPRESS", "SET_RESOURCES", "GMEM_ATOM_RED"])
+        leaves = Designer().design(small_irregular, graph)
+        assert len(leaves) > 1
+        for leaf in leaves:
+            nodes = runtime_nodes_for_leaf(graph, leaf.branch_path)
+            assert [n.op_name for n in nodes] == ["SET_RESOURCES"]
+
+
+class TestDesignCache:
+    def test_factory_runs_once_per_key(self):
+        cache = DesignCache()
+        calls = []
+        leaves = ["leaf"]
+        for _ in range(3):
+            out = cache.get_or_design(("k",), lambda: calls.append(1) or leaves)
+        assert out is leaves
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (2, 1)
+
+    def test_design_errors_are_cached(self):
+        cache = DesignCache()
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise DesignError("SORT: cannot apply")
+
+        for _ in range(2):
+            with pytest.raises(DesignError, match="SORT: cannot apply"):
+                cache.get_or_design(("bad",), failing)
+        assert len(calls) == 1
+        assert cache.stats().hits == 1
+
+    def test_lru_eviction(self):
+        cache = DesignCache(max_entries=2)
+        for i in range(4):
+            cache.get_or_design((i,), lambda i=i: [i])
+        assert len(cache) == 2
+        assert cache.stats().evictions == 2
+
+    def test_eviction_restores_bound_after_burst(self):
+        """A backlog of completed entries (as left by a burst of concurrent
+        in-flight misses) shrinks all the way to max_entries on the next
+        insert — not just part of the way."""
+        from repro.search.evaluation import _CacheEntry
+
+        cache = DesignCache(max_entries=4)
+        with cache._lock:
+            for i in range(12):
+                entry = _CacheEntry()
+                entry.done = True
+                entry.leaves = [i]
+                cache._entries[("burst", i)] = entry
+        cache.get_or_design(("fresh",), lambda: ["leaf"])
+        assert len(cache) == cache.max_entries
+
+    def test_matrix_token_distinguishes_content(self):
+        a = banded_matrix(64, bandwidth=2, seed=0, name="same")
+        b = power_law_matrix(64, avg_degree=3, seed=1, name="same")
+        assert matrix_token(a) != matrix_token(b)
+        assert matrix_token(a) == matrix_token(
+            banded_matrix(64, bandwidth=2, seed=0, name="same")
+        )
+
+    def test_shared_cache_serves_evaluator(self, small_regular):
+        cache = DesignCache()
+        evaluator = StagedEvaluator(KernelBuilder(), cache=cache)
+        graph = OperatorGraph.from_names(
+            ["COMPRESS", "SET_RESOURCES", "GMEM_ATOM_RED"])
+        first = evaluator.build(small_regular, graph)
+        again = evaluator.build(small_regular, graph)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        x = np.random.default_rng(7).random(small_regular.n_cols)
+        np.testing.assert_allclose(
+            first.run(x, A100).y, again.run(x, A100).y)
+
+
+class TestSearchMany:
+    def test_matches_individual_searches(self):
+        mats = [
+            banded_matrix(512, bandwidth=3, seed=1, name="many_a"),
+            power_law_matrix(512, avg_degree=8, seed=2, name="many_b"),
+        ]
+        with _engine(jobs=2) as engine:
+            combined = engine.search_many(mats, seeds=[7, 9])
+        individual = [
+            _engine().search(mats[0], seed=7),
+            _engine().search(mats[1], seed=9),
+        ]
+        for got, want in zip(combined, individual):
+            assert got.best_gflops == want.best_gflops
+            assert _history_tuple(got) == _history_tuple(want)
+
+    def test_seed_length_validated(self):
+        with pytest.raises(ValueError):
+            _engine().search_many(
+                [banded_matrix(64, bandwidth=2, seed=0)], seeds=[1, 2]
+            )
+
+
+class TestEngineIsStateless:
+    def test_repeated_searches_identical(self):
+        m = power_law_matrix(512, avg_degree=8, seed=2, name="stateless")
+        engine = _engine()
+        first = engine.search(m)
+        second = engine.search(m)  # warm cache, cloned schedule, fresh rng
+        assert first.best_gflops == second.best_gflops
+        assert _history_tuple(first) == _history_tuple(second)
+        # the second pass runs almost entirely from cache
+        assert second.designer_runs <= first.designer_runs
+        assert second.design_cache_hits >= first.design_cache_hits
