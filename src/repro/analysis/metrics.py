@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.graph import OperatorGraph
+from repro.core.graph import GraphValidationError, OperatorGraph
 
 __all__ = [
     "geomean",
@@ -31,14 +31,36 @@ def geomean(values: Iterable[float]) -> float:
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise ValueError("geomean of empty sequence")
+    if not np.isfinite(arr).all():
+        raise ValueError(
+            "geomean requires finite values; an inf/nan speedup means an "
+            "inapplicable or incorrect baseline leaked into the aggregate — "
+            "filter on BaselineMeasurement.ok before aggregating"
+        )
     if (arr <= 0).any():
         raise ValueError("geomean requires positive values")
     return float(np.exp(np.log(arr).mean()))
 
 
 def speedup(candidate_gflops: float, baseline_gflops: float) -> float:
+    """Candidate-over-baseline throughput ratio.
+
+    A baseline that is inapplicable or computed a wrong answer reports
+    0 GFLOPS (:class:`~repro.baselines.base.BaselineMeasurement`); there is
+    no meaningful speedup over it, so asking for one is an error — the
+    caller must filter those measurements out (``BaselineMeasurement.ok``)
+    instead of letting ``inf`` corrupt geomeans and histograms downstream.
+    """
+    if not (np.isfinite(candidate_gflops) and np.isfinite(baseline_gflops)):
+        raise ValueError(
+            f"speedup of non-finite GFLOPS ({candidate_gflops!r} over "
+            f"{baseline_gflops!r})"
+        )
     if baseline_gflops <= 0:
-        return float("inf")
+        raise ValueError(
+            "speedup over a non-positive baseline (inapplicable or "
+            "incorrect format); filter it out rather than aggregating it"
+        )
     return candidate_gflops / baseline_gflops
 
 
@@ -53,6 +75,11 @@ def speedup_histogram(
     arr = np.asarray(speedups, dtype=np.float64)
     if arr.size == 0:
         raise ValueError("no speedups to bin")
+    if not np.isfinite(arr).all():
+        raise ValueError(
+            "non-finite speedup in histogram input; filter inapplicable/"
+            "incorrect baselines (BaselineMeasurement.ok) before binning"
+        )
     edges = list(bins)
     labels = [f"<{edges[0]:.1f}"]
     counts = [float((arr < edges[0]).sum())]
@@ -129,11 +156,17 @@ def classify_creativity(graph: OperatorGraph, matrix=None) -> Dict[str, object]:
         for name, baseline in BASELINE_REGISTRY.items():
             if not isinstance(baseline, GraphBaseline):
                 continue
+            if not baseline.applicable(matrix):
+                continue
+            # Only inapplicability surfaces as an exception here (a baseline
+            # whose auto-configuration cannot produce a valid graph for this
+            # sparsity pattern); anything else is a builder bug and must
+            # propagate instead of being silently treated as "no match".
             try:
                 if baseline.graph(matrix).signature() == graph.signature():
                     matches = name
                     break
-            except Exception:  # inapplicable baselines cannot match
+            except GraphValidationError:
                 continue
     else:
         matches = structure_matches

@@ -20,14 +20,30 @@ from repro.core.graph import OperatorGraph
 from repro.core.kernel.builder import KernelBuilder
 from repro.core.kernel.program import GeneratedProgram
 from repro.gpu.arch import GPUSpec
-from repro.sparse.matrix import SparseMatrix
+from repro.sparse.matrix import SparseMatrix, spmv_allclose
 
-__all__ = ["BaselineMeasurement", "SpmvBaseline", "GraphBaseline", "BASELINE_REGISTRY", "register_baseline", "get_baseline"]
+__all__ = [
+    "BaselineMeasurement",
+    "SpmvBaseline",
+    "GraphBaseline",
+    "BASELINE_REGISTRY",
+    "register_baseline",
+    "get_baseline",
+    "measure_baselines",
+    "measurement_ok",
+]
 
 
 @dataclass(frozen=True)
 class BaselineMeasurement:
-    """One baseline's result on one matrix/GPU."""
+    """One baseline's result on one matrix/GPU.
+
+    Every field is always finite: inapplicable baselines carry
+    ``gflops=0.0, time_s=0.0`` (they never ran) and incorrect ones
+    ``gflops=0.0`` with the real kernel time, so column sums/means in
+    reporting never see ``inf``.  Aggregators select on :attr:`ok` rather
+    than interpreting the zeros.
+    """
 
     baseline: str
     matrix: str
@@ -37,6 +53,23 @@ class BaselineMeasurement:
     correct: bool
     applicable: bool = True
     note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Usable as a speedup denominator: applicable, correct, ran."""
+        return measurement_ok(self)
+
+
+def measurement_ok(meas) -> bool:
+    """The one usability predicate: applicable, correct, > 0 GFLOPS.
+
+    Accepts a live :class:`BaselineMeasurement` or its dict form from a
+    persisted result store, so live aggregation and store-reading paths
+    cannot diverge on what "usable" means.
+    """
+    if isinstance(meas, BaselineMeasurement):
+        return meas.applicable and meas.correct and meas.gflops > 0
+    return bool(meas["applicable"] and meas["correct"] and meas["gflops"] > 0)
 
 
 class SpmvBaseline(ABC):
@@ -59,25 +92,36 @@ class SpmvBaseline(ABC):
         matrix: SparseMatrix,
         gpu: GPUSpec,
         x: Optional[np.ndarray] = None,
+        reference: Optional[np.ndarray] = None,
     ) -> BaselineMeasurement:
-        """Run the baseline; inapplicable formats report zero GFLOPS."""
+        """Run the baseline; inapplicable formats report zero GFLOPS.
+
+        ``reference`` is the precomputed ``matrix.spmv_reference(x)`` —
+        batched callers (:func:`measure_baselines`, the corpus runner) pass
+        it so the reference SpMV runs once per matrix, not once per
+        baseline.  Correctness uses the order-tolerant
+        :func:`~repro.sparse.matrix.spmv_allclose` gate: atomic-reduction
+        baselines (COO, row-grouped CSR) legitimately accumulate in a
+        different order than the reference.
+        """
         if not self.applicable(matrix):
             return BaselineMeasurement(
                 baseline=self.name,
                 matrix=matrix.name,
                 gpu=gpu.name,
                 gflops=0.0,
-                time_s=float("inf"),
+                time_s=0.0,
                 correct=False,
                 applicable=False,
                 note="format not applicable to this sparsity pattern",
             )
         if x is None:
             x = np.random.default_rng(0x5EED).random(matrix.n_cols)
-        reference = matrix.spmv_reference(x)
+        if reference is None:
+            reference = matrix.spmv_reference(x)
         prog = self.program(matrix)
         result = prog.run(x, gpu)
-        correct = bool(np.allclose(result.y, reference, rtol=1e-9, atol=1e-9))
+        correct = spmv_allclose(result.y, reference)
         return BaselineMeasurement(
             baseline=self.name,
             matrix=matrix.name,
@@ -85,6 +129,7 @@ class SpmvBaseline(ABC):
             gflops=result.gflops if correct else 0.0,
             time_s=result.total_time_s,
             correct=correct,
+            note="" if correct else "numeric mismatch against reference SpMV",
         )
 
 
@@ -131,3 +176,37 @@ def get_baseline(name: str) -> SpmvBaseline:
         raise KeyError(
             f"unknown baseline {name!r}; registered: {sorted(BASELINE_REGISTRY)}"
         ) from None
+
+
+def measure_baselines(
+    matrix: SparseMatrix,
+    gpu: GPUSpec,
+    names: List[str],
+    x: Optional[np.ndarray] = None,
+    reference: Optional[np.ndarray] = None,
+    runtime=None,
+) -> Dict[str, BaselineMeasurement]:
+    """Measure several baselines on one matrix, sharing one reference SpMV.
+
+    The batched entry point for corpus-scale evaluation: ``x`` and the
+    reference result are computed once and reused by every baseline (the
+    per-matrix caches the corpus runner relies on), and ``runtime`` — a
+    :class:`~repro.search.evaluation.EvaluationRuntime` or anything with
+    its ``map(fn, items)`` shape — optionally spreads the independent
+    measurements over a worker pool.  Results come back keyed by baseline
+    name, in ``names`` order (Python dicts preserve insertion order), for
+    any worker count.
+    """
+    if x is None:
+        x = np.random.default_rng(0x5EED).random(matrix.n_cols)
+    if reference is None:
+        reference = matrix.spmv_reference(x)
+
+    def run(name: str) -> BaselineMeasurement:
+        return get_baseline(name).measure(matrix, gpu, x, reference=reference)
+
+    if runtime is None:
+        measurements = [run(name) for name in names]
+    else:
+        measurements = runtime.map(run, list(names))
+    return {m.baseline: m for m in measurements}

@@ -68,11 +68,30 @@ class PerfectFormatSelector:
     ) -> PfsSelection:
         if x is None:
             x = np.random.default_rng(0x5EED).random(matrix.n_cols)
-        measurements = [b.measure(matrix, gpu, x) for b in self.members]
-        usable = [m for m in measurements if m.applicable and m.correct]
+        reference = matrix.spmv_reference(x)
+        return self.select_from(
+            [
+                b.measure(matrix, gpu, x, reference=reference)
+                for b in self.members
+            ],
+            matrix_name=matrix.name,
+        )
+
+    def select_from(
+        self,
+        measurements: List[BaselineMeasurement],
+        matrix_name: str = "",
+    ) -> PfsSelection:
+        """Pick the oracle's winner from already-taken measurements.
+
+        Lets batched callers (the corpus runner) measure every baseline
+        exactly once and derive the PFS selection from the same data
+        instead of re-running the member kernels.
+        """
+        usable = [m for m in measurements if m.ok]
         if not usable:
             raise RuntimeError(
-                f"no PFS member could handle matrix {matrix.name!r}"
+                f"no PFS member could handle matrix {matrix_name!r}"
             )
         best = max(usable, key=lambda m: m.gflops)
-        return PfsSelection(best=best, all_measurements=measurements)
+        return PfsSelection(best=best, all_measurements=list(measurements))

@@ -1,0 +1,134 @@
+"""Incremental JSON result store for corpus evaluation runs.
+
+A store maps content-addressed matrix keys to finished per-matrix records
+(baseline measurements + search outcome).  Records are flushed to disk as
+each matrix completes — via a temp-file + ``os.replace`` so a crash mid-
+write never corrupts earlier results — and a rerun pointed at the same
+path skips every matrix it already holds.
+
+The store also pins the run configuration (GPU, budget, seed, baseline
+list): resuming with a different configuration would silently mix
+incomparable measurements, so it is an error instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = ["ResultStore", "ResultStoreError", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+class ResultStoreError(ValueError):
+    """Raised for corrupt store files or mismatched run configurations."""
+
+
+class ResultStore:
+    """Keyed, insertion-ordered record storage with optional persistence.
+
+    ``path=None`` gives a purely in-memory store (ephemeral runs); with a
+    path, an existing file is loaded for resumption and every
+    :meth:`put` rewrites the file atomically.
+    """
+
+    def __init__(self, path: Optional[Union[str, os.PathLike]] = None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self._config: Optional[Dict] = None
+        self._records: Dict[str, Dict] = {}
+        if self.path is not None and os.path.exists(self.path):
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ResultStoreError(
+                f"cannot load result store {self.path!r}: {exc}"
+            ) from exc
+        if not isinstance(data, dict) or "matrices" not in data:
+            raise ResultStoreError(
+                f"{self.path!r} is not a result store (no 'matrices' key)"
+            )
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ResultStoreError(
+                f"{self.path!r} has schema {data.get('schema')!r}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+        self._config = data.get("config")
+        self._records = dict(data["matrices"])
+
+    def flush(self) -> None:
+        """Atomically persist the current state (no-op for in-memory stores)."""
+        if self.path is None:
+            return
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "config": self._config,
+            "matrices": self._records,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> Optional[Dict]:
+        return self._config
+
+    def bind_config(self, config: Dict) -> None:
+        """Set the run configuration, or verify it matches the stored one.
+
+        A store written under one (GPU, budget, seed, baselines) tuple must
+        not accumulate results from another — the aggregate tables would
+        mix incomparable runs.
+        """
+        if self._config is None:
+            self._config = dict(config)
+            return
+        if self._config != dict(config):
+            diff = {
+                key: (self._config.get(key), config.get(key))
+                for key in set(self._config) | set(config)
+                if self._config.get(key) != config.get(key)
+            }
+            raise ResultStoreError(
+                "result store was written with a different run "
+                f"configuration (stored vs requested): {diff}; use a fresh "
+                "store path to run a new configuration"
+            )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> Dict:
+        return self._records[key]
+
+    def put(self, key: str, record: Dict) -> None:
+        """Insert one finished record and persist immediately."""
+        self._records[key] = record
+        self.flush()
+
+    def items(self) -> Iterator[Tuple[str, Dict]]:
+        return iter(self._records.items())
+
+    def records(self) -> List[Dict]:
+        """Stored records in insertion order."""
+        return list(self._records.values())

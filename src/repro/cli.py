@@ -10,6 +10,9 @@ Commands::
                            [--gpu A100] [--evals N] [--jobs N]
                            [--out DIR] [--no-pruning] [--extensions] [--seed S]
     python -m repro baselines <matrix.mtx | @named> [--gpu A100]
+    python -m repro bench <matrix.mtx | @named | @corpus:N> [more ...]
+                          [--gpu A100] [--evals N] [--jobs N] [--seed S]
+                          [--resume PATH]
     python -m repro stats <matrix.mtx | @named>
     python -m repro operators
     python -m repro matrices
@@ -17,6 +20,11 @@ Commands::
 ``@name`` selects one of the built-in named matrices (e.g. ``@scfxm1-2r``).
 ``search`` accepts several matrices; they share one engine, one design
 cache and one worker pool (``--jobs``) and print a collection summary.
+``bench`` runs the corpus pipeline — every baseline *and* the design
+search per matrix — and prints the paper's corpus tables; ``--resume
+PATH`` persists per-matrix results incrementally so an interrupted run
+picks up where it stopped.  ``@corpus:N`` expands to the first N matrices
+of the built-in deterministic corpus (``@corpus:K-N`` for a shard).
 """
 
 from __future__ import annotations
@@ -30,11 +38,12 @@ import numpy as np
 
 from repro.analysis import render_search_summary, render_table
 from repro.baselines import PFS_MEMBERS, PerfectFormatSelector, get_baseline
+from repro.bench import CorpusRunner, ResultStore, render_corpus_report
 from repro.core.operators import OPERATOR_REGISTRY, Stage
 from repro.export import export_program
 from repro.gpu import gpu_by_name
 from repro.search import SearchBudget, SearchEngine
-from repro.sparse import NAMED_MATRICES, named_matrix, read_matrix_market
+from repro.sparse import NAMED_MATRICES, corpus, named_matrix, read_matrix_market
 from repro.sparse.matrix import SparseMatrix
 
 __all__ = ["main"]
@@ -130,6 +139,55 @@ def _search_collection(engine, matrices, specs, gpu, args) -> int:
             out_dir = os.path.join(args.out, sub)
             manifest = export_program(result.best_program, out_dir, result.best_graph)
             print(f"{matrix.name or spec}: artifact exported: {manifest}")
+    return 0
+
+
+def _expand_bench_specs(specs: List[str]) -> List[object]:
+    """Bench accepts everything ``search`` does plus ``@corpus:N`` /
+    ``@corpus:K-N`` corpus slices (shard of the deterministic corpus)."""
+    matrices: List[object] = []
+    for spec in specs:
+        if spec.startswith("@corpus:"):
+            rng = spec[len("@corpus:"):]
+            try:
+                if "-" in rng:
+                    lo, hi = (int(p) for p in rng.split("-", 1))
+                else:
+                    lo, hi = 0, int(rng)
+            except ValueError:
+                raise SystemExit(
+                    f"bad corpus slice {spec!r}; use @corpus:N or @corpus:K-N"
+                )
+            if hi <= lo:
+                raise SystemExit(f"empty corpus slice {spec!r}")
+            matrices.extend(corpus(hi - lo, start=lo))
+        else:
+            matrices.append(_load_matrix(spec))
+    return matrices
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    matrices = _expand_bench_specs(args.matrix)
+    gpu = gpu_by_name(args.gpu)
+    store = ResultStore(args.resume)
+    runner = CorpusRunner(
+        gpu,
+        budget=SearchBudget(max_total_evals=args.evals, jobs=args.jobs),
+        seed=args.seed,
+        store=store,
+        progress=print,
+    )
+    with runner:
+        result = runner.run(matrices)
+    stats = result.stats
+    print(f"\ncorpus run: {stats.measured} measured, {stats.resumed} resumed "
+          f"in {stats.wall_s:.1f}s"
+          + (f"; results persisted to {args.resume}" if args.resume else ""))
+    print()
+    print(render_corpus_report(
+        result.records,
+        title=f"Corpus evaluation on {gpu.name} model",
+    ))
     return 0
 
 
@@ -232,6 +290,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compare-pfs", action="store_true",
                    help="also run the Perfect Format Selector")
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser(
+        "bench",
+        help="corpus-scale evaluation: all baselines + design search per "
+             "matrix, aggregated into the paper's tables",
+    )
+    p.add_argument("matrix", nargs="+",
+                   help="Matrix Market path(s), @named-matrix(es), or "
+                        "@corpus:N / @corpus:K-N corpus slices")
+    p.add_argument("--gpu", default="A100")
+    p.add_argument("--evals", type=int, default=160,
+                   help="max search evaluations per matrix")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="evaluation workers shared by baseline measurement "
+                        "and the search (identical results for any value)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="persist per-matrix results to PATH (JSON) as they "
+                        "finish and skip matrices already recorded there")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("baselines", help="measure every baseline format")
     p.add_argument("matrix")

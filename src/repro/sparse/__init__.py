@@ -6,7 +6,7 @@ families the paper evaluates on, and the named corpus used by the benchmark
 harness.
 """
 
-from repro.sparse.matrix import SparseMatrix, MatrixStats
+from repro.sparse.matrix import SparseMatrix, MatrixStats, spmv_allclose
 from repro.sparse.io import read_matrix_market, write_matrix_market
 from repro.sparse.generators import (
     banded_matrix,
@@ -28,6 +28,7 @@ from repro.sparse.collection import (
 __all__ = [
     "SparseMatrix",
     "MatrixStats",
+    "spmv_allclose",
     "read_matrix_market",
     "write_matrix_market",
     "banded_matrix",

@@ -148,30 +148,38 @@ def corpus(
     count: int = DEFAULT_CORPUS_SIZE,
     seed: int = 2022,
     min_nnz: int = 500,
+    start: int = 0,
 ) -> Iterator[CorpusEntry]:
-    """Yield ``count`` deterministic corpus matrices.
+    """Yield ``count`` deterministic corpus matrices, starting at ``start``.
 
     Matrices cycle through the family × size grid so any prefix of the
     corpus is balanced; filters mirror the paper's test-set conditions
     (no empty rows by construction, nnz floor standing in for the 50K one).
+    ``start`` selects a shard: ``corpus(n, start=k)`` yields exactly the
+    entries ``corpus(k + n)`` would yield after the first ``k`` (indices
+    included), so a corpus run can be split across processes or resumed by
+    range without replaying earlier matrices.
     """
+    if start < 0:
+        raise ValueError("start must be non-negative")
     rng = np.random.default_rng(seed)
     produced = 0
     attempt = 0
-    while produced < count:
+    while produced < start + count:
         fam_name, builder = _FAMILIES[attempt % len(_FAMILIES)]
         size = _SIZES[(attempt // len(_FAMILIES)) % len(_SIZES)]
         mat = builder(size, int(rng.integers(0, 2**31 - 1)))
         attempt += 1
         if mat.nnz < min_nnz or mat.stats.empty_rows:
             continue
-        named = SparseMatrix(
-            mat.n_rows,
-            mat.n_cols,
-            mat.rows,
-            mat.cols,
-            mat.vals,
-            name=f"{fam_name}_{produced:03d}_n{mat.n_rows}",
-        )
-        yield CorpusEntry(index=produced, family=fam_name, matrix=named)
+        if produced >= start:
+            named = SparseMatrix(
+                mat.n_rows,
+                mat.n_cols,
+                mat.rows,
+                mat.cols,
+                mat.vals,
+                name=f"{fam_name}_{produced:03d}_n{mat.n_rows}",
+            )
+            yield CorpusEntry(index=produced, family=fam_name, matrix=named)
         produced += 1

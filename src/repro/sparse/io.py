@@ -69,6 +69,11 @@ def read_matrix_market(source: Union[str, os.PathLike, TextIO]) -> SparseMatrix:
         if len(size_parts) != 3:
             raise MatrixMarketError(f"malformed size line: {line!r}")
         n_rows, n_cols, nnz = (int(p) for p in size_parts)
+        if n_rows <= 0 or n_cols <= 0 or nnz < 0:
+            raise MatrixMarketError(
+                f"invalid size line {n_rows} {n_cols} {nnz}: dimensions "
+                "must be positive and nnz non-negative"
+            )
 
         pattern = field == "pattern"
         rows = np.empty(nnz, dtype=np.int64)
@@ -93,6 +98,17 @@ def read_matrix_market(source: Union[str, os.PathLike, TextIO]) -> SparseMatrix:
             raise MatrixMarketError(
                 f"declared {nnz} entries but found {count}"
             )
+
+        # Indices are 1-based in the file; a 0 or a value beyond the size
+        # line would silently become a negative / out-of-range 0-based index
+        # and only fail (or corrupt statistics) far downstream.
+        for label, idx, bound in (("row", rows, n_rows), ("column", cols, n_cols)):
+            if idx.size and (idx.min() < 0 or idx.max() >= bound):
+                bad = idx[(idx < 0) | (idx >= bound)][0]
+                raise MatrixMarketError(
+                    f"{label} index {int(bad) + 1} outside declared range "
+                    f"1..{bound}"
+                )
 
         if symmetry in ("symmetric", "skew-symmetric"):
             off_diag = rows != cols

@@ -15,7 +15,7 @@ from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["SparseMatrix", "MatrixStats"]
+__all__ = ["SparseMatrix", "MatrixStats", "spmv_allclose", "SPMV_RTOL", "SPMV_ATOL"]
 
 #: Row-length variance threshold above which the paper calls a matrix
 #: *irregular* (§I, Problem 2: "variances of its row lengths are more than 100").
@@ -267,3 +267,27 @@ class SparseMatrix:
 
     def __hash__(self) -> None:  # type: ignore[override]
         raise TypeError("SparseMatrix is unhashable; use .name as a key")
+
+
+#: Correctness tolerance for comparing a kernel's ``y`` against
+#: :meth:`SparseMatrix.spmv_reference`.  Kernels are free to accumulate a
+#: row's partials in any order — atomic reductions (``GMEM_ATOM_RED``) and
+#: reordered layouts (``SORT``, interleaved storage) sum in scheduling
+#: order, not reference order — so the achievable agreement is bounded by
+#: float64 summation error (~eps * sqrt(k) * sum|a_ij x_j| for k-long rows),
+#: not by exact bit equality.  ``rtol=1e-9`` misflags legitimately reordered
+#: sums on dense-ish rows as "incorrect" (0 GFLOPS).
+SPMV_RTOL = 1e-6
+SPMV_ATOL = 1e-9
+
+
+def spmv_allclose(y: np.ndarray, reference: np.ndarray) -> bool:
+    """Order-tolerant correctness gate for SpMV outputs.
+
+    The absolute term scales with the reference magnitude so near-zero rows
+    produced by cancellation do not dominate the comparison.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    scale = float(np.abs(reference).max(initial=1.0))
+    return bool(np.allclose(y, reference, rtol=SPMV_RTOL, atol=SPMV_ATOL * scale))

@@ -24,7 +24,26 @@ class TestBasicMetrics:
 
     def test_speedup(self):
         assert speedup(30.0, 10.0) == 3.0
-        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_speedup_rejects_nonpositive_baseline(self):
+        """Regression: inapplicable/incorrect baselines report 0 GFLOPS;
+        a silent inf here used to corrupt geomeans and the Fig 10 bins."""
+        with pytest.raises(ValueError, match="non-positive baseline"):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError, match="non-positive baseline"):
+            speedup(1.0, -2.0)
+
+    def test_speedup_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            speedup(float("inf"), 1.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            speedup(1.0, float("nan"))
+
+    def test_geomean_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            geomean([1.0, float("inf")])
+        with pytest.raises(ValueError, match="finite"):
+            geomean([float("nan")])
 
 
 class TestHistogram:
@@ -41,6 +60,10 @@ class TestHistogram:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             speedup_histogram([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="[Nn]on-finite"):
+            speedup_histogram([1.0, float("inf")])
 
 
 class TestCreativity:

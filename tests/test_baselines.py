@@ -50,6 +50,53 @@ def test_baseline_correct_on_regular(name, small_regular, x_for):
     assert not meas.applicable or meas.correct
 
 
+class TestMeasurementContract:
+    def test_inapplicable_measurement_is_finite(self):
+        """Regression: inapplicable formats used to carry time_s=inf, which
+        broke any column sum/mean in reporting."""
+        skewed = rows_with_outliers_matrix(600, base_len=4, outlier_len=500, seed=0)
+        meas = get_baseline("ELL").measure(skewed, A100)
+        assert not meas.applicable
+        assert not meas.ok
+        assert np.isfinite(meas.time_s) and np.isfinite(meas.gflops)
+        assert meas.gflops == 0.0
+
+    @pytest.mark.parametrize("name", ["COO", "row-grouped CSR"])
+    def test_atomic_baseline_not_misflagged_on_dense_rows(self, name, x_for):
+        """Regression: atomic-reduction baselines accumulate partials in a
+        different order than the reference SpMV; the old rtol=1e-9 gate
+        could misflag them incorrect (0 GFLOPS) on dense-ish matrices."""
+        from repro.sparse import block_diagonal_matrix
+
+        dense_ish = block_diagonal_matrix(24, block_size=48, fill=0.9, seed=9)
+        meas = get_baseline(name).measure(dense_ish, A100, x_for(dense_ish))
+        assert meas.applicable
+        assert meas.correct, f"{name} misflagged incorrect on dense-ish matrix"
+        assert meas.gflops > 0
+        assert meas.ok
+
+    def test_shared_reference_matches_unshared(self, small_regular, x_for):
+        """The batched path (precomputed reference) must measure the same."""
+        x = x_for(small_regular)
+        ref = small_regular.spmv_reference(x)
+        a = get_baseline("CSR").measure(small_regular, A100, x)
+        b = get_baseline("CSR").measure(small_regular, A100, x, reference=ref)
+        assert a == b
+
+    def test_measure_baselines_batched(self, small_regular, x_for):
+        from repro.baselines.base import measure_baselines
+        from repro.search.evaluation import EvaluationRuntime
+
+        names = ["CSR", "COO", "ELL", "DIA"]
+        serial = measure_baselines(small_regular, A100, names, x=x_for(small_regular))
+        assert list(serial) == names
+        with EvaluationRuntime(jobs=3) as runtime:
+            pooled = measure_baselines(
+                small_regular, A100, names, x=x_for(small_regular), runtime=runtime
+            )
+        assert serial == pooled
+
+
 class TestApplicability:
     def test_ell_refuses_skewed(self):
         skewed = rows_with_outliers_matrix(600, base_len=4, outlier_len=500, seed=0)

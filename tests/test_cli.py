@@ -97,6 +97,54 @@ class TestSearch:
         assert main(["search", mtx_file, "--evals", "0"]) == 1
         assert "no valid candidate" in capsys.readouterr().out
 
+class TestBench:
+    """Corpus-pipeline smoke tests on two tiny generated matrices (the
+    full corpus benchmark lives behind the `slow` marker)."""
+
+    @pytest.fixture
+    def two_matrices(self, tmp_path, small_regular, small_lp):
+        paths = []
+        for matrix, fname in ((small_regular, "a.mtx"), (small_lp, "b.mtx")):
+            path = tmp_path / fname
+            write_matrix_market(matrix, path)
+            paths.append(str(path))
+        return paths
+
+    def test_bench_smoke(self, two_matrices, tmp_path, capsys):
+        store = tmp_path / "results.json"
+        code = main([
+            "bench", *two_matrices, "--evals", "12", "--jobs", "2",
+            "--resume", str(store),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Geomean speedup" in out
+        assert "Fig 10" in out
+        assert "Creativity" in out
+        assert "2 measured, 0 resumed" in out
+        assert "inf" not in out and "nan" not in out
+        assert store.exists()
+
+    def test_bench_resumes_from_store(self, two_matrices, tmp_path, capsys):
+        store = tmp_path / "results.json"
+        args = ["bench", *two_matrices, "--evals", "12", "--resume", str(store)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 measured, 2 resumed" in out
+
+    def test_bench_corpus_slice(self, capsys):
+        assert main(["bench", "@corpus:2", "--evals", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "2 matrices" in out
+
+    def test_bench_bad_corpus_slice(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "@corpus:zzz", "--evals", "8"])
+
+
+class TestSearchMultiExport:
     def test_multi_matrix_export(self, mtx_file, tmp_path, capsys):
         out_dir = tmp_path / "artifacts"
         code = main([

@@ -73,3 +73,18 @@ class TestCorpus:
     def test_spans_sizes(self):
         sizes = {e.matrix.n_rows for e in corpus(16)}
         assert len(sizes) >= 2
+
+    def test_shard_matches_full_run(self):
+        """corpus(n, start=k) yields exactly the entries k..k+n-1 of the
+        full sequence, so range shards tile the corpus without overlap."""
+        full = list(corpus(8))
+        shard = list(corpus(3, start=5))
+        assert [e.index for e in shard] == [5, 6, 7]
+        for got, want in zip(shard, full[5:]):
+            assert got.name == want.name
+            assert got.family == want.family
+            assert got.matrix == want.matrix
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            list(corpus(2, start=-1))

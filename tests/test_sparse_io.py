@@ -97,6 +97,40 @@ class TestRead:
             loads(text)
 
 
+class TestIndexBounds:
+    """Regression: 1-based indices of 0 or beyond the size line used to
+    become negative / out-of-range 0-based indices that only failed (or
+    silently corrupted statistics) far downstream."""
+
+    HEADER = "%%MatrixMarket matrix coordinate real general\n"
+
+    def test_zero_row_index_rejected(self):
+        with pytest.raises(MatrixMarketError, match="row index 0"):
+            loads(self.HEADER + "2 2 1\n0 1 1.0\n")
+
+    def test_zero_col_index_rejected(self):
+        with pytest.raises(MatrixMarketError, match="column index 0"):
+            loads(self.HEADER + "2 2 1\n1 0 1.0\n")
+
+    def test_row_index_beyond_shape_rejected(self):
+        with pytest.raises(MatrixMarketError, match="row index 3.*1..2"):
+            loads(self.HEADER + "2 2 1\n3 1 1.0\n")
+
+    def test_col_index_beyond_shape_rejected(self):
+        with pytest.raises(MatrixMarketError, match="column index 5.*1..4"):
+            loads(self.HEADER + "3 4 2\n1 1 1.0\n2 5 1.0\n")
+
+    def test_nonpositive_dimensions_rejected(self):
+        with pytest.raises(MatrixMarketError, match="size line"):
+            loads(self.HEADER + "0 2 0\n")
+        with pytest.raises(MatrixMarketError, match="size line"):
+            loads(self.HEADER + "2 -1 0\n")
+
+    def test_boundary_indices_accepted(self):
+        m = loads(self.HEADER + "2 3 2\n1 1 1.0\n2 3 2.0\n")
+        assert m.to_dense()[1, 2] == 2.0
+
+
 class TestWrite:
     def test_round_trip_string(self, small_lp):
         again = loads(dumps(small_lp))
