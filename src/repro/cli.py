@@ -7,7 +7,7 @@ implementation" (§III).
 Commands::
 
     python -m repro search <matrix.mtx | @named> [more matrices ...]
-                           [--gpu A100] [--evals N] [--jobs N]
+                           [--gpu A100] [--evals N] [--jobs N] [--profile]
                            [--out DIR] [--no-pruning] [--extensions] [--seed S]
     python -m repro baselines <matrix.mtx | @named> [--gpu A100]
     python -m repro bench <matrix.mtx | @named | @corpus:N> [more ...]
@@ -88,6 +88,9 @@ def _search_single(engine, matrix, spec, gpu, args) -> int:
           f"{result.total_evaluations} evaluations "
           f"({result.design_cache_hits} hits / "
           f"{result.design_cache_misses} misses)")
+    if args.profile:
+        print()
+        print(_render_profile(result))
     if result.best_graph is None:
         print("no valid candidate found within the evaluation budget; "
               "raise --evals")
@@ -109,6 +112,35 @@ def _search_single(engine, matrix, spec, gpu, args) -> int:
     return 0
 
 
+def _render_profile(result) -> str:
+    """Stage-timing breakdown of one search (``--profile``)."""
+    stages = ["design", "assembly", "analysis", "verify", "ml"]
+    times = dict(result.stage_times)
+    accounted = sum(times.get(s, 0.0) for s in stages)
+    rows = [[s, f"{times.get(s, 0.0) * 1e3:.1f}"] for s in stages]
+    note = ""
+    if result.jobs > 1:
+        # Pooled stage times accumulate across workers like CPU time, so
+        # they don't reconcile against wall clock — skip the residual row.
+        note = (f"\nstage times are CPU-style sums over {result.jobs} "
+                "workers and may exceed wall clock")
+    else:
+        rows.append(["other (search overhead)",
+                     f"{max(0.0, result.wall_time_s - accounted) * 1e3:.1f}"])
+    rows.append(["total wall", f"{result.wall_time_s * 1e3:.1f}"])
+    table = render_table(
+        f"Stage timing for {result.matrix_name} (ms)",
+        ["stage", "time"],
+        rows,
+    )
+    return (
+        table
+        + note
+        + f"\nleaf-analysis cache: {result.analysis_cache_hits} hits / "
+          f"{result.analysis_cache_misses} misses (design-level lookups)"
+    )
+
+
 def _search_collection(engine, matrices, specs, gpu, args) -> int:
     """Multi-matrix mode: one engine, one cache, one pool, one summary."""
     results = engine.search_many(matrices)
@@ -117,6 +149,10 @@ def _search_collection(engine, matrices, specs, gpu, args) -> int:
         title=f"Search summary on {gpu.name} model "
               f"(jobs={engine.runtime.jobs}, shared design cache)",
     ))
+    if args.profile:
+        for result in results:
+            print()
+            print(_render_profile(result))
     used_dirs: set = set()
     for i, (spec, matrix, result) in enumerate(zip(specs, matrices, results)):
         if result.best_program is None:
@@ -289,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable future-work operators (HYB_DECOMP)")
     p.add_argument("--compare-pfs", action="store_true",
                    help="also run the Perfect Format Selector")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-stage timing breakdown (design / "
+                        "assembly / analysis / verify / ml; 'analysis' = "
+                        "plan analysis + cost projection + functional "
+                        "execution) and leaf-analysis cache counters")
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser(

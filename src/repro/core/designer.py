@@ -9,6 +9,7 @@ Kernel Generator produces one kernel of the final program.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence
@@ -18,7 +19,7 @@ from repro.core.metadata import MatrixMetadataSet
 from repro.core.operators import OperatorError, get_operator
 from repro.sparse.matrix import SparseMatrix
 
-__all__ = ["Designer", "DesignError", "DesignLeaf"]
+__all__ = ["Designer", "DesignError", "DesignLeaf", "default_invariant_checks"]
 
 
 class DesignError(RuntimeError):
@@ -44,16 +45,39 @@ class DesignLeaf:
         return "/".join(str(i) for i in self.branch_path)
 
 
+def default_invariant_checks() -> bool:
+    """Whether metadata invariants are re-validated after every operator.
+
+    The checks are a debugging net, not a correctness requirement — on the
+    search/bench hot path they cost ~100+ full-array scans per search.  The
+    resolution order: the ``REPRO_CHECK_INVARIANTS`` environment variable
+    (``0``/``false`` off, anything else on) wins; otherwise checks are on
+    under pytest and off everywhere else.
+    """
+    env = os.environ.get("REPRO_CHECK_INVARIANTS")
+    if env is not None:
+        return env.strip().lower() not in ("", "0", "false", "no", "off")
+    return "PYTEST_CURRENT_TEST" in os.environ
+
+
 class Designer:
     """Runs Operator Graphs; safe to share across threads.
 
     The only mutable state is :attr:`executions`, a monotonic counter of
     :meth:`design` calls used by the staged evaluation runtime to verify
     design-cache effectiveness; it is updated under a lock.
+
+    ``check_invariants=None`` (the default) resolves via
+    :func:`default_invariant_checks`: enabled under pytest or when forced
+    by ``REPRO_CHECK_INVARIANTS``, disabled on search/bench hot paths.
     """
 
-    def __init__(self, check_invariants: bool = True) -> None:
-        self.check_invariants = check_invariants
+    def __init__(self, check_invariants: Optional[bool] = None) -> None:
+        self.check_invariants = (
+            default_invariant_checks()
+            if check_invariants is None
+            else check_invariants
+        )
         self._exec_lock = threading.Lock()
         self._executions = 0
 

@@ -54,6 +54,18 @@ class GraphNode:
     def operator(self):
         return get_operator(self.op_name)
 
+    def copy(self) -> "GraphNode":
+        """Structural clone without re-resolving params (the source node
+        already holds resolved values) — the search hot path copies a
+        graph per candidate."""
+        new = GraphNode.__new__(GraphNode)
+        new.op_name = self.op_name
+        new.params = dict(self.params)
+        new.children = [
+            [node.copy() for node in child] for child in self.children
+        ]
+        return new
+
     def to_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {"op": self.op_name, "params": dict(self.params)}
         if self.children:
@@ -109,7 +121,11 @@ class OperatorGraph:
         return cls([GraphNode.from_dict(nd) for nd in data["nodes"]])  # type: ignore[union-attr]
 
     def copy(self) -> "OperatorGraph":
-        return OperatorGraph.from_dict(self.to_dict())
+        """Deep structural clone; skips re-validation (the source graph was
+        validated at construction and stays immutable during search)."""
+        new = OperatorGraph.__new__(OperatorGraph)
+        new.nodes = [node.copy() for node in self.nodes]
+        return new
 
     # ------------------------------------------------------------------
     # Validation (static rules)

@@ -34,6 +34,7 @@ from repro.core.kernel.program import GeneratedProgram, KernelUnit
 from repro.core.metadata import MatrixMetadataSet
 from repro.core.operators import OperatorError
 from repro.core.optimizer import ModelDrivenCompressor
+from repro.gpu.analysis import DesignAnalysis, LeafAnalysis
 from repro.gpu.executor import ExecutionPlan, ReductionStep
 from repro.sparse.matrix import SparseMatrix
 
@@ -174,16 +175,44 @@ class KernelBuilder:
 
     # ------------------------------------------------------------------
     def build_plan(
-        self, meta: MatrixMetadataSet, fmt: MachineDesignedFormat, label: str = "root"
+        self,
+        meta: MatrixMetadataSet,
+        fmt: MachineDesignedFormat,
+        label: str = "root",
+        analysis: Optional[LeafAnalysis] = None,
     ) -> ExecutionPlan:
-        thread_of_nz, n_threads, tpb, run_length = self._distribute(meta)
+        """Project metadata into an executable plan.
+
+        With ``analysis`` set, the thread distribution is cached per
+        runtime-scalar pair and the original-row projection per leaf; the
+        plan then carries the analysis plus a content key so the executor
+        shares cost projections across the runtime grid.
+        """
+        if analysis is None:
+            thread_of_nz, n_threads, tpb, run_length, _deps = self._distribute(meta)
+            cost_key = None
+        else:
+            dist = analysis.distribution(
+                {"tpb": meta.threads_per_block, "grid": meta.grid_threads},
+                lambda: self._distribute(meta),
+            )
+            thread_of_nz = dist.thread_of_nz
+            n_threads = dist.n_threads
+            tpb = dist.threads_per_block
+            run_length = dist.run_length
+            cost_key = (dist.digest, dist.n_threads, dist.threads_per_block)
         steps = tuple(
             ReductionStep(level, strategy) for level, strategy in meta.reduction_steps
         )
         if not steps or steps[-1].level != "global":
             raise BuildError("design has no global reduction step")
         orig_rows = int(meta.get("orig_n_rows", meta.n_rows))
-        out_rows = meta.origin_rows[meta.elem_row]
+        if analysis is None:
+            out_rows = meta.origin_rows[meta.elem_row]
+        else:
+            out_rows = analysis.cached_array(
+                "out_rows", lambda: meta.origin_rows[meta.elem_row]
+            )
         return ExecutionPlan(
             n_rows=orig_rows,
             n_cols=meta.n_cols,
@@ -200,13 +229,23 @@ class KernelBuilder:
             storage_run_length=run_length,
             value_bytes=8 if self.precision == "fp64" else 4,
             label=label,
+            analysis=analysis,
+            cost_key=cost_key,
         )
 
     # ------------------------------------------------------------------
     def _distribute(
         self, meta: MatrixMetadataSet
-    ) -> Tuple[np.ndarray, int, int, float]:
-        """Returns (thread_of_nz, n_threads, threads_per_block, run_length)."""
+    ) -> Tuple[np.ndarray, int, int, float, Tuple[str, ...]]:
+        """Returns (thread_of_nz, n_threads, threads_per_block, run_length,
+        runtime_deps).
+
+        ``runtime_deps`` names the runtime scalars the chosen distribution
+        path actually read (``"tpb"`` / ``"grid"``, in that order) — the
+        analysis cache keys distributions by exactly those values, so
+        structurally-determined distributions are computed once per leaf
+        instead of once per runtime assignment.
+        """
         n = meta.stored_elements
         bmt = meta.blocks_of("bmt")
         bmw = meta.blocks_of("bmw")
@@ -217,6 +256,7 @@ class KernelBuilder:
             n_bmt = int(meta.n_blocks("bmt") or 0)
             counts = np.bincount(bmt, minlength=n_bmt)
             run = float(counts[counts > 0].mean()) if n_bmt else 1.0
+            deps: Tuple[str, ...] = ()
             if bmw is not None:
                 parent_w = _parent_of_block(bmt, bmw)
                 first_bmt = _first_child_of_parent(parent_w)
@@ -239,6 +279,7 @@ class KernelBuilder:
                     n_threads = n_bmtb * tpb
                 else:
                     tpb = tpb_cfg
+                    deps = ("tpb",)
                     thread_of_bmt = parent_w * WARP + lane_of_bmt
                     n_threads = (int(meta.n_blocks("bmw") or 0)) * WARP
             elif bmtb is not None:
@@ -252,10 +293,17 @@ class KernelBuilder:
                 n_threads = n_bmtb * tpb
             else:
                 tpb = tpb_cfg
+                deps = ("tpb",)
                 thread_of_bmt = np.arange(n_bmt, dtype=np.int64)
                 n_threads = max(n_bmt, 1)
             thread_of_nz = thread_of_bmt[bmt]
-            return thread_of_nz.astype(np.int64), int(max(n_threads, 1)), tpb, run
+            return (
+                thread_of_nz.astype(np.int64),
+                int(max(n_threads, 1)),
+                tpb,
+                run,
+                deps,
+            )
 
         if bmw is not None:
             starts = _block_starts(bmw)
@@ -275,11 +323,19 @@ class KernelBuilder:
                     parent_b[bmw] * tpb + warp_in_block[bmw] * WARP + lane
                 )
                 n_threads = n_bmtb * tpb
+                deps = ()
             else:
                 tpb = tpb_cfg
                 thread_of_nz = bmw * WARP + lane
                 n_threads = (int(meta.n_blocks("bmw") or 0)) * WARP
-            return thread_of_nz.astype(np.int64), int(max(n_threads, 1)), tpb, 1.0
+                deps = ("tpb",)
+            return (
+                thread_of_nz.astype(np.int64),
+                int(max(n_threads, 1)),
+                tpb,
+                1.0,
+                deps,
+            )
 
         if bmtb is not None:
             tpb = tpb_cfg
@@ -289,14 +345,20 @@ class KernelBuilder:
             pos = np.arange(n, dtype=np.int64) - offset[bmtb]
             thread_of_nz = bmtb * tpb + pos % tpb
             n_bmtb = int(meta.n_blocks("bmtb") or 0)
-            return thread_of_nz.astype(np.int64), max(n_bmtb * tpb, 1), tpb, 1.0
+            return (
+                thread_of_nz.astype(np.int64),
+                max(n_bmtb * tpb, 1),
+                tpb,
+                1.0,
+                ("tpb",),
+            )
 
         # Unmapped: COO-style grid-stride loop.
         tpb = tpb_cfg
         grid = meta.grid_threads or min(max(n, 1), 4096 * WARP)
         grid = _round_up(int(grid), WARP)
         thread_of_nz = np.arange(n, dtype=np.int64) % grid
-        return thread_of_nz, grid, tpb, 1.0
+        return thread_of_nz, grid, tpb, 1.0, ("tpb", "grid")
 
     @staticmethod
     def _check_tpb(tpb: int) -> None:
@@ -307,10 +369,30 @@ class KernelBuilder:
             )
 
     # ------------------------------------------------------------------
-    def build_unit(self, leaf: DesignLeaf) -> KernelUnit:
-        fmt = build_format(leaf.meta, self.compressor, name=f"fmt_{leaf.label}")
-        plan = self.build_plan(leaf.meta, fmt, label=leaf.label)
-        source = generate_source(leaf.meta, fmt, plan)
+    def build_unit(
+        self, leaf: DesignLeaf, analysis: Optional[LeafAnalysis] = None
+    ) -> KernelUnit:
+        if analysis is None:
+            fmt = build_format(leaf.meta, self.compressor, name=f"fmt_{leaf.label}")
+        else:
+            # Format arrays are projected from leaf-invariant metadata, so
+            # one machine-designed format serves the whole runtime grid.
+            fmt = analysis.cached_scalar(
+                "format",
+                lambda: build_format(
+                    leaf.meta, self.compressor, name=f"fmt_{leaf.label}"
+                ),
+            )
+        plan = self.build_plan(leaf.meta, fmt, label=leaf.label, analysis=analysis)
+        if analysis is None:
+            source = generate_source(leaf.meta, fmt, plan)
+        else:
+            # The rendered text depends on the plan only through the launch
+            # geometry — share it across runtime assignments that agree.
+            source = analysis.cached_scalar(
+                ("source", plan.n_blocks, plan.threads_per_block, plan.interleaved),
+                lambda: generate_source(leaf.meta, fmt, plan),
+            )
         return KernelUnit(
             label=leaf.label,
             plan=plan,
@@ -336,39 +418,83 @@ class KernelBuilder:
         matrix: SparseMatrix,
         graph: OperatorGraph,
         leaves: Sequence[DesignLeaf],
+        analysis: Optional[DesignAnalysis] = None,
     ) -> GeneratedProgram:
         """Parameter-level half of :meth:`build`.
 
         Grafts ``graph``'s runtime parameters onto (possibly cached) design
         leaves, then builds formats, plans and sources.  Leaves are never
         mutated: runtime scalars are re-applied on a shallow store copy.
+
+        ``analysis`` (one :class:`~repro.gpu.analysis.DesignAnalysis` per
+        design-cache key) memoises assembled kernel units per
+        runtime-parameter assignment and the cross-kernel write check per
+        design, and is carried on the returned program for verdict reuse.
         """
         kernels = []
-        for leaf in leaves:
-            meta = self._apply_runtime_params(leaf, graph)
-            unit_leaf = (
-                leaf
-                if meta is leaf.meta
-                else DesignLeaf(meta=meta, branch_path=leaf.branch_path)
+        for i, leaf in enumerate(leaves):
+            la = None if analysis is None else analysis.leaf(i)
+            kernels.append(self._assemble_unit(leaf, graph, la))
+        if analysis is None:
+            conflict = self._cross_kernel_conflict(kernels)
+        else:
+            conflict = analysis.cross_check(
+                lambda: self._cross_kernel_conflict(kernels)
             )
-            kernels.append(self.build_unit(unit_leaf))
-        self._check_cross_kernel_writes(kernels)
+        if conflict is not None:
+            raise BuildError(conflict)
         return GeneratedProgram(
             matrix_name=matrix.name,
             n_rows=matrix.n_rows,
             n_cols=matrix.n_cols,
             useful_nnz=matrix.nnz,
             kernels=kernels,
+            analysis=analysis,
         )
 
-    def _apply_runtime_params(
-        self, leaf: DesignLeaf, graph: OperatorGraph
-    ) -> MatrixMetadataSet:
-        """Re-apply the runtime-parameter operators on the leaf's path with
-        the actual requested values (the design ran with defaults)."""
+    def _assemble_unit(
+        self,
+        leaf: DesignLeaf,
+        graph: OperatorGraph,
+        analysis: Optional[LeafAnalysis],
+    ) -> KernelUnit:
+        """One leaf's kernel unit, memoised per runtime-parameter values.
+
+        The unit (format, plan, source) is a pure function of the leaf plus
+        the runtime-operator parameters on its branch path, so candidates
+        sharing both get the same (immutable) unit object back — including
+        deterministic replay of assembly failures.
+        """
         nodes = runtime_nodes_for_leaf(graph, leaf.branch_path)
+        if analysis is None:
+            return self.build_unit(self._runtime_leaf(leaf, nodes), analysis=None)
+        key = tuple(
+            (node.op_name, tuple(sorted(node.params.items()))) for node in nodes
+        )
+
+        def compute():
+            try:
+                unit = self.build_unit(
+                    self._runtime_leaf(leaf, nodes), analysis=analysis
+                )
+            except DesignError as exc:
+                return ("error", DesignError, str(exc))
+            except BuildError as exc:
+                return ("error", BuildError, str(exc))
+            return ("ok", unit)
+
+        entry = analysis.unit(key, compute)
+        if entry[0] == "error":
+            raise entry[1](entry[2])
+        return entry[1]
+
+    def _runtime_leaf(
+        self, leaf: DesignLeaf, nodes: Sequence[GraphNode]
+    ) -> DesignLeaf:
+        """Leaf with the runtime-parameter operators re-applied with the
+        requested values (the design ran with defaults)."""
         if not nodes:
-            return leaf.meta
+            return leaf
         meta = leaf.meta.runtime_copy()
         for node in nodes:
             op = node.operator
@@ -376,23 +502,33 @@ class KernelBuilder:
                 op.apply(meta, node.params)
             except OperatorError as exc:
                 raise DesignError(f"{op.name}: {exc}") from exc
-        return meta
+        return DesignLeaf(meta=meta, branch_path=leaf.branch_path)
 
     def build(self, matrix: SparseMatrix, graph: OperatorGraph) -> GeneratedProgram:
         """Design + assemble in one step (uncached staged build)."""
         return self.assembly_phase(matrix, graph, self.design_phase(matrix, graph))
 
     @staticmethod
-    def _check_cross_kernel_writes(kernels) -> None:
+    def _cross_kernel_conflict(kernels) -> Optional[str]:
         """Multi-kernel programs (COL_DIV / HYB_DECOMP branches) accumulate
         into the same rows; a kernel that plain-stores a row another kernel
-        also writes would lose updates on real hardware."""
+        also writes would lose updates on real hardware.  Returns the error
+        message (design-invariant, so callers may cache it) or None."""
         if len(kernels) < 2:
-            return
+            return None
         rows_written = []
         for unit in kernels:
-            valid = unit.plan.out_rows >= 0
-            rows_written.append(np.unique(unit.plan.out_rows[valid]))
+            la = unit.plan.analysis
+            if la is not None:
+                rows = la.cached_array(
+                    "unique_out_rows",
+                    lambda u=unit: np.unique(
+                        u.plan.out_rows[u.plan.out_rows >= 0]
+                    ),
+                )
+            else:
+                rows = np.unique(unit.plan.out_rows[unit.plan.out_rows >= 0])
+            rows_written.append(rows)
         for i, unit in enumerate(kernels):
             if unit.plan.reduction_steps[-1].strategy != "GMEM_DIRECT_STORE":
                 continue
@@ -402,10 +538,11 @@ class KernelBuilder:
                 if np.intersect1d(
                     rows_written[i], other_rows, assume_unique=True
                 ).size:
-                    raise BuildError(
+                    return (
                         "GMEM_DIRECT_STORE in one kernel conflicts with rows "
                         "written by another kernel; use GMEM_ATOM_RED"
                     )
+        return None
 
 
 def build_program(

@@ -55,6 +55,10 @@ class GeneratedProgram:
     n_cols: int
     useful_nnz: int
     kernels: List[KernelUnit]
+    #: design-level analysis (:class:`repro.gpu.analysis.DesignAnalysis`)
+    #: shared by every candidate of the same design; carries the cached
+    #: numeric-verification verdict.  None for standalone builds.
+    analysis: Optional[object] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def run(self, x: np.ndarray, gpu: GPUSpec) -> ProgramResult:

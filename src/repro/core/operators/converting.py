@@ -69,12 +69,16 @@ class Compress(Operator):
             meta.elem_val = meta.elem_val[keep]
             meta.elem_pad = meta.elem_pad[keep]
             meta.put("useful_nnz", int(meta.elem_row.size))
-        # Canonical row-major order for the mapping stage.
-        order = np.lexsort((meta.elem_col, meta.elem_row))
-        meta.elem_row = meta.elem_row[order]
-        meta.elem_col = meta.elem_col[order]
-        meta.elem_val = meta.elem_val[order]
-        meta.elem_pad = meta.elem_pad[order]
+        # Canonical row-major order for the mapping stage.  An O(n)
+        # monotonicity probe skips the lexsort for the common case of
+        # already row-major triplets (most readers/generators emit them).
+        key = meta.elem_row.astype(np.int64) * (int(meta.n_cols) + 1) + meta.elem_col
+        if key.size > 1 and np.any(key[1:] < key[:-1]):
+            order = np.lexsort((meta.elem_col, meta.elem_row))
+            meta.elem_row = meta.elem_row[order]
+            meta.elem_col = meta.elem_col[order]
+            meta.elem_val = meta.elem_val[order]
+            meta.elem_pad = meta.elem_pad[order]
         meta.compressed = True
 
 

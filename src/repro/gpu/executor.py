@@ -14,6 +14,18 @@ per-thread partial results into the ``y`` vector.
 2. **Performance projection** — derives :class:`~repro.gpu.cost.KernelCostInputs`
    from the plan (divergence, imbalance, partial-result flow through the
    reduction levels, atomics) and evaluates the analytic cost model.
+
+Statistics are extracted with linear-time primitives: the reduction walk
+sorts the ``(group, row)`` key space at most once and then works on
+boundary differences of the (much smaller) distinct-pair set, distinct
+counting uses ``bincount`` presence tables instead of sort-based
+``np.unique``, and the functional ``y`` is a weighted ``bincount`` rather
+than ``np.add.at``.  When a plan carries a
+:class:`~repro.gpu.analysis.LeafAnalysis` (``plan.analysis``, attached by
+the staged evaluator), everything runtime scalars cannot change — valid
+mask, sorted pair machinery, cost projection per distribution digest,
+functional ``y`` per input vector — is computed once per design leaf and
+shared across the whole runtime-parameter grid.
 """
 
 from __future__ import annotations
@@ -104,6 +116,12 @@ class ExecutionPlan:
     #: bytes per matrix/x/y value (4 = fp32, 8 = fp64)
     value_bytes: int = 4
     label: str = ""
+    #: per-leaf analysis cache (:class:`repro.gpu.analysis.LeafAnalysis`)
+    #: attached by the staged evaluator; None = standalone plan.
+    analysis: Optional[object] = field(default=None, repr=False, compare=False)
+    #: content key of the thread distribution (``(digest, n_threads, tpb)``)
+    #: used to share cost projections across runtime assignments.
+    cost_key: Optional[Tuple] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         n = self.values.shape[0]
@@ -115,6 +133,20 @@ class ExecutionPlan:
             raise ValueError("threads_per_block must be positive")
         if self.n_threads <= 0:
             raise ValueError("n_threads must be positive")
+        if n:
+            # An out-of-range thread id would silently corrupt the
+            # per-thread bincounts plan_cost_inputs is built on.
+            tmin = int(self.thread_of_nz.min())
+            tmax = int(self.thread_of_nz.max())
+            if tmin < 0 or tmax >= self.n_threads:
+                raise ValueError(
+                    f"thread_of_nz out of range: ids span [{tmin}, {tmax}] "
+                    f"but n_threads is {self.n_threads}"
+                )
+            if int(self.out_rows.max(initial=-1)) >= self.n_rows:
+                raise ValueError(
+                    f"out_rows references row >= n_rows ({self.n_rows})"
+                )
         if not self.reduction_steps:
             raise ValueError("plan needs at least a global reduction step")
         if self.reduction_steps[-1].level != "global":
@@ -171,33 +203,105 @@ class _PipelineStats:
     final_rows: Optional[np.ndarray] = None
 
 
-def _flow_partials(plan: ExecutionPlan) -> _PipelineStats:
+@dataclass(frozen=True)
+class _PairCounts:
+    n_groups: int
+    per_group_max: int
+
+
+def _dedup_sorted(key: np.ndarray) -> np.ndarray:
+    """Distinct values of an already-sorted key array (boundary diff)."""
+    if key.size <= 1:
+        return key
+    mask = np.empty(key.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(key[1:], key[:-1], out=mask[1:])
+    return key[mask]
+
+
+def _sorted_unique_pairs(
+    groups: np.ndarray, rows: np.ndarray, base: int
+) -> np.ndarray:
+    """Sorted distinct ``group * base + row`` keys.
+
+    Storage-order block grouping means the key stream is frequently
+    already sorted (chunk-per-thread mappings over row-sorted elements);
+    the O(n) monotonicity probe then skips the sort entirely.
+    """
+    key = groups.astype(np.int64) * base + rows
+    if key.size > 1 and np.any(key[1:] < key[:-1]):
+        key = np.sort(key)
+    return _dedup_sorted(key)
+
+
+def _pair_stats(key: np.ndarray, base: int) -> _PairCounts:
+    """Distinct-group count and max distinct rows per group, from the
+    sorted distinct-pair key array — one boundary-diff pass, no sort."""
+    if key.size == 0:
+        return _PairCounts(0, 0)
+    g = key // base
+    boundary = np.empty(g.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(g[1:], g[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    ends = np.empty(starts.size, dtype=np.int64)
+    ends[:-1] = starts[1:]
+    ends[-1] = g.size
+    return _PairCounts(int(starts.size), int((ends - starts).max()))
+
+
+def _regroup(key: np.ndarray, base: int, shrink: int) -> np.ndarray:
+    """Coarsen the group component of a sorted distinct-pair key by
+    ``shrink`` (e.g. threads -> warps), re-sorting only the shrunken set."""
+    if shrink <= 1 or key.size == 0:
+        return key
+    g = key // base
+    return _sorted_unique_pairs(g // shrink, key - g * base, base)
+
+
+def _flow_partials(
+    plan: ExecutionPlan,
+    valid: Optional[np.ndarray] = None,
+    start_pairs: Optional[Tuple[np.ndarray, int]] = None,
+) -> _PipelineStats:
     """Walk the reduction chain, validating strategies and counting ops.
 
     Partial results start as the distinct (thread, row) pairs; each level
     merges partials that share a row within its scope.  TOTAL strategies
-    additionally require their scope to contain a single row.  Group ids are
-    tracked together with their current granularity (threads per group), so
-    a block step after a warp step regroups correctly.
+    additionally require their scope to contain a single row.  Group ids
+    are tracked together with their current granularity (threads per
+    group), so a block step after a warp step regroups correctly.
+
+    The walk state is the sorted distinct ``(group, row)`` key set plus
+    the current multiset size (pre-merge partial count).  ``start_pairs``
+    optionally supplies the initial sorted machinery — the one O(n log n)
+    step — precomputed per design leaf by the analysis cache.
     """
-    valid = plan.out_rows >= 0
+    if valid is None:
+        valid = plan.out_rows >= 0
     rows = plan.out_rows[valid]
-    threads = plan.thread_of_nz[valid]
     stats = _PipelineStats()
     if rows.size == 0:
         stats.final_rows = rows
         return stats
 
-    # Current partials: (scope_group, row). Start pre-thread-level: each
-    # element is its own partial owned by its thread.
-    cur_groups = threads
-    cur_rows = rows
+    if start_pairs is None:
+        base = int(rows.max()) + 1
+        cur_key = _sorted_unique_pairs(plan.thread_of_nz[valid], rows, base)
+    else:
+        cur_key, base = start_pairs
+    #: partial count of the current multiset: raw elements until the first
+    #: merge, the distinct-pair count afterwards.
+    cur_size = int(rows.size)
+    #: rows of the current partials, with multiplicity (None = derive from
+    #: cur_key once a merge has happened).
+    rows_multiset: Optional[np.ndarray] = rows
     granularity = 1  # threads represented by one group id
     reached_global = False
 
     for step in plan.reduction_steps:
         if step.level == "thread":
-            distinct = _pair_counts(cur_groups, cur_rows)
+            distinct = _pair_stats(cur_key, base)
             if step.strategy == "THREAD_TOTAL_RED":
                 if distinct.per_group_max > 1:
                     raise PlanValidationError(
@@ -206,16 +310,17 @@ def _flow_partials(plan: ExecutionPlan) -> _PipelineStats:
                 # serial adds happen inside the FMA loop — already counted
                 # in the compute term
             else:  # THREAD_BITMAP_RED: per-element row-boundary checks
-                stats.serial_red_ops += int(cur_rows.size)
-            cur_groups, cur_rows = _merge(cur_groups, cur_rows)
+                stats.serial_red_ops += cur_size
+            cur_size = int(cur_key.size)
+            rows_multiset = None
         elif step.level == "warp":
             if granularity > plan.warp_size:
                 raise PlanValidationError(
                     "warp reduction cannot follow a coarser-grained step"
                 )
-            groups = cur_groups // (plan.warp_size // granularity)
+            cur_key = _regroup(cur_key, base, plan.warp_size // granularity)
             granularity = plan.warp_size
-            distinct = _pair_counts(groups, cur_rows)
+            distinct = _pair_stats(cur_key, base)
             n_active_warps = distinct.n_groups
             if step.strategy == "WARP_TOTAL_RED":
                 if distinct.per_group_max > 1:
@@ -227,36 +332,43 @@ def _flow_partials(plan: ExecutionPlan) -> _PipelineStats:
                 stats.shuffle_ops += n_active_warps * 10
             else:  # WARP_BITMAP_RED
                 stats.shuffle_ops += n_active_warps * 8
-            cur_groups, cur_rows = _merge(groups, cur_rows)
+            cur_size = int(cur_key.size)
+            rows_multiset = None
         elif step.level == "block":
             if granularity > plan.threads_per_block:
                 raise PlanValidationError(
                     "block reduction cannot follow a coarser-grained step"
                 )
-            groups = cur_groups // (plan.threads_per_block // granularity)
+            cur_key = _regroup(
+                cur_key, base, plan.threads_per_block // granularity
+            )
             granularity = plan.threads_per_block
-            distinct = _pair_counts(groups, cur_rows)
+            distinct = _pair_stats(cur_key, base)
             n_active_blocks = distinct.n_groups
             if step.strategy == "SHMEM_TOTAL_RED":
                 if distinct.per_group_max > 1:
                     raise PlanValidationError(
                         "SHMEM_TOTAL_RED requires one row per thread block"
                     )
-                stats.shmem_ops += int(cur_rows.size)
+                stats.shmem_ops += cur_size
                 stats.sync_barriers += n_active_blocks * max(
                     1, int(np.log2(max(2, plan.threads_per_block)))
                 )
             else:  # SHMEM_OFFSET_RED: segmented row-offset reduce in shmem
-                stats.shmem_ops += int(3 * cur_rows.size)
+                stats.shmem_ops += 3 * cur_size
                 stats.sync_barriers += n_active_blocks * 2
-            cur_groups, cur_rows = _merge(groups, cur_rows)
+            cur_size = int(cur_key.size)
+            rows_multiset = None
         else:  # global
             reached_global = True
-            stats.final_rows = cur_rows
+            final_rows = (
+                rows_multiset if rows_multiset is not None else cur_key % base
+            )
+            stats.final_rows = final_rows
             if step.strategy == "GMEM_ATOM_RED":
-                stats.atomic_ops = int(cur_rows.size)
+                stats.atomic_ops = cur_size
             else:  # GMEM_DIRECT_STORE — every row written exactly once
-                counts = np.bincount(cur_rows, minlength=plan.n_rows)
+                counts = np.bincount(final_rows, minlength=plan.n_rows)
                 if counts.max(initial=0) > 1:
                     raise PlanValidationError(
                         "GMEM_DIRECT_STORE requires a single partial per row; "
@@ -267,45 +379,47 @@ def _flow_partials(plan: ExecutionPlan) -> _PipelineStats:
     return stats
 
 
-@dataclass(frozen=True)
-class _PairCounts:
-    n_groups: int
-    per_group_max: int
-
-
-def _pair_counts(groups: np.ndarray, rows: np.ndarray) -> _PairCounts:
-    """Distinct-group count and max distinct rows within any group."""
-    if rows.size == 0:
-        return _PairCounts(0, 0)
-    key = groups.astype(np.int64) * (int(rows.max()) + 1) + rows
-    uniq_pairs = np.unique(key)
-    pair_groups = uniq_pairs // (int(rows.max()) + 1)
-    group_ids, counts = np.unique(pair_groups, return_counts=True)
-    return _PairCounts(int(group_ids.size), int(counts.max()))
-
-
-def _merge(groups: np.ndarray, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Collapse partials sharing (group, row) into one partial."""
-    if rows.size == 0:
-        return groups, rows
-    base = int(rows.max()) + 1
-    key = groups.astype(np.int64) * base + rows
-    uniq = np.unique(key)
-    return (uniq // base), (uniq % base)
-
-
 # ---------------------------------------------------------------------------
 # Cost-input extraction
 # ---------------------------------------------------------------------------
 
 def plan_cost_inputs(plan: ExecutionPlan, gpu: GPUSpec) -> KernelCostInputs:
-    """Summarise a plan into the numbers the cost model consumes."""
-    valid = plan.out_rows >= 0
-    stored = plan.stored_elements
+    """Summarise a plan into the numbers the cost model consumes.
+
+    Plans carrying a leaf analysis share one projection per distribution
+    digest (see :func:`_cost_projection`); standalone plans compute from
+    scratch.
+    """
+    if plan.analysis is not None and plan.cost_key is not None:
+        entry = _cost_projection(plan, gpu)
+        if entry[0] == "error":
+            raise PlanValidationError(entry[1])
+        return entry[1]
+    return _compute_cost_inputs(plan, gpu)
+
+
+def _cost_projection(plan: ExecutionPlan, gpu: GPUSpec) -> Tuple:
+    """Cached ``("ok", inputs, cost)`` / ``("error", msg)`` for an
+    analysis-backed plan, keyed by the distribution digest + GPU."""
+    analysis = plan.analysis
+    key = plan.cost_key + (gpu.name, plan.value_bytes)
+
+    def compute() -> Tuple:
+        try:
+            inputs = _compute_cost_inputs(plan, gpu)
+        except PlanValidationError as exc:
+            return ("error", str(exc))
+        return ("ok", inputs, CostModel(gpu).evaluate(inputs))
+
+    return analysis.cost_projection(key, compute)
+
+
+def _thread_stats(plan: ExecutionPlan) -> Tuple[np.ndarray, float, float]:
+    """Distribution-only statistics: per-thread element histogram, warp
+    lockstep issue slots, mean active run length."""
     per_thread = np.bincount(
         plan.thread_of_nz, minlength=plan.n_threads
     ).astype(np.int64)
-
     # Warp lockstep: pad threads to a multiple of warp size, take the max
     # element count per warp — idle lanes still burn issue slots.
     warp = plan.warp_size
@@ -314,6 +428,52 @@ def plan_cost_inputs(plan: ExecutionPlan, gpu: GPUSpec) -> KernelCostInputs:
     padded[: per_thread.size] = per_thread
     warp_max = padded.reshape(plan.n_warps, warp).max(axis=1)
     lockstep = float((warp_max * warp).sum())
+    active = per_thread[per_thread > 0]
+    active_mean = float(active.mean()) if active.size else 1.0
+    return per_thread, lockstep, active_mean
+
+
+def _compute_cost_inputs(plan: ExecutionPlan, gpu: GPUSpec) -> KernelCostInputs:
+    analysis = plan.analysis
+    if analysis is not None:
+        valid = analysis.cached_array("valid", lambda: plan.out_rows >= 0)
+        unique_cols = analysis.cached_scalar(
+            "unique_cols", lambda: unique_column_count(plan.col_indices)
+        )
+        start_pairs = None
+        if plan.cost_key is not None:
+            rows_valid = analysis.cached_array(
+                "rows_valid", lambda: plan.out_rows[valid]
+            )
+            if rows_valid.size:
+                base = analysis.cached_scalar(
+                    "row_base", lambda: int(rows_valid.max()) + 1
+                )
+                digest = plan.cost_key[0]
+                start_pairs = analysis.start_pairs(
+                    (digest,),
+                    lambda: (
+                        _sorted_unique_pairs(
+                            plan.thread_of_nz[valid], rows_valid, base
+                        ),
+                        base,
+                    ),
+                )
+    else:
+        valid = plan.out_rows >= 0
+        unique_cols = unique_column_count(plan.col_indices)
+        start_pairs = None
+    stored = plan.stored_elements
+    warp = plan.warp_size
+    if analysis is not None and plan.cost_key is not None:
+        # Per-thread histogram, warp lockstep and mean run length depend on
+        # the distribution only — share them across block-size variations.
+        per_thread, lockstep, active_mean = analysis.cached_scalar(
+            ("thread_stats", plan.cost_key[0], plan.n_threads),
+            lambda: _thread_stats(plan),
+        )
+    else:
+        per_thread, lockstep, active_mean = _thread_stats(plan)
 
     # Block-level work distribution.
     tpb = plan.threads_per_block
@@ -324,19 +484,18 @@ def plan_cost_inputs(plan: ExecutionPlan, gpu: GPUSpec) -> KernelCostInputs:
     max_block = float(block_work.max(initial=0))
     mean_block = float(block_work.mean()) if block_work.size else 0.0
 
-    if plan.storage_run_length is not None:
-        avg_run = float(plan.storage_run_length)
-    else:
-        active = per_thread[per_thread > 0]
-        avg_run = float(active.mean()) if active.size else 1.0
+    avg_run = (
+        float(plan.storage_run_length)
+        if plan.storage_run_length is not None
+        else active_mean
+    )
     coalescing = coalescing_efficiency(avg_run, plan.interleaved, warp)
 
-    unique_cols = unique_column_count(plan.col_indices)
     gather = gather_traffic_bytes(
         plan.useful_nnz, unique_cols, plan.n_cols, gpu
     ) * (plan.value_bytes / VALUE_BYTES)
 
-    stats = _flow_partials(plan)
+    stats = _flow_partials(plan, valid=valid, start_pairs=start_pairs)
     final_rows = stats.final_rows
     if final_rows is not None and final_rows.size:
         max_atomics = int(
@@ -382,6 +541,21 @@ def validate_plan(plan: ExecutionPlan) -> None:
 # Execution
 # ---------------------------------------------------------------------------
 
+def _functional_y(
+    plan: ExecutionPlan, x: np.ndarray, valid: np.ndarray
+) -> np.ndarray:
+    """Exact ``y`` via one weighted bincount over the valid elements."""
+    cols = plan.col_indices[valid]
+    if cols.size and (cols.min() < 0 or cols.max() >= plan.n_cols):
+        raise PlanValidationError("valid element with out-of-range column")
+    products = plan.values[valid] * x[cols]
+    if not products.size:
+        return np.zeros(plan.n_rows, dtype=np.float64)
+    return np.bincount(
+        plan.out_rows[valid], weights=products, minlength=plan.n_rows
+    )
+
+
 def execute(plan: ExecutionPlan, x: np.ndarray, gpu: GPUSpec) -> ExecutionResult:
     """Run the kernel functionally and project its performance.
 
@@ -389,21 +563,35 @@ def execute(plan: ExecutionPlan, x: np.ndarray, gpu: GPUSpec) -> ExecutionResult
     the cost breakdown.  Raises :class:`PlanValidationError` for semantically
     invalid reduction chains — the same kernels that would compute wrong
     answers on real hardware.
+
+    Analysis-backed plans reuse the leaf's cached cost projection and the
+    cached functional ``y`` for this ``x``; the returned ``y`` is then a
+    shared read-only array.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (plan.n_cols,):
         raise ValueError(f"x must have shape ({plan.n_cols},)")
 
-    inputs = plan_cost_inputs(plan, gpu)  # validates the reduction chain
+    analysis = plan.analysis
+    if analysis is not None and plan.cost_key is not None:
+        entry = _cost_projection(plan, gpu)  # validates the reduction chain
+        if entry[0] == "error":
+            raise PlanValidationError(entry[1])
+        _, inputs, cost = entry
 
-    valid = plan.out_rows >= 0
-    cols = plan.col_indices[valid]
-    if cols.size and (cols.min() < 0 or cols.max() >= plan.n_cols):
-        raise PlanValidationError("valid element with out-of-range column")
-    products = plan.values[valid] * x[cols]
-    y = np.zeros(plan.n_rows, dtype=np.float64)
-    if products.size:
-        np.add.at(y, plan.out_rows[valid], products)
+        def compute_y() -> Tuple:
+            valid = analysis.cached_array("valid", lambda: plan.out_rows >= 0)
+            try:
+                return ("ok", _functional_y(plan, x, valid))
+            except PlanValidationError as exc:
+                return ("error", str(exc))
 
-    cost = CostModel(gpu).evaluate(inputs)
+        y_entry = analysis.functional_y(x, compute_y)
+        if y_entry[0] == "error":
+            raise PlanValidationError(y_entry[1])
+        y = y_entry[1]
+    else:
+        inputs = plan_cost_inputs(plan, gpu)  # validates the reduction chain
+        y = _functional_y(plan, x, plan.out_rows >= 0)
+        cost = CostModel(gpu).evaluate(inputs)
     return ExecutionResult(y=y, cost=cost, inputs=inputs)

@@ -123,10 +123,19 @@ def l2_bandwidth_boost(working_set_bytes: float, gpu: GPUSpec) -> float:
 
 
 def unique_column_count(col_indices: np.ndarray) -> int:
-    """Number of distinct columns referenced (ignores negative padding ids)."""
+    """Number of distinct columns referenced (ignores negative padding ids).
+
+    O(n + max_col) presence counting — column ids are bounded by the matrix
+    width, so a bincount table replaces the sort inside ``np.unique``.
+    For leaves whose id range is much wider than their element count (a
+    sparse slice of a very wide matrix) the table would dominate, so the
+    sort-based path remains as the fallback.
+    """
     if col_indices.size == 0:
         return 0
     valid = col_indices[col_indices >= 0]
     if valid.size == 0:
         return 0
-    return int(np.unique(valid).size)
+    if int(valid.max()) > 8 * valid.size:
+        return int(np.unique(valid).size)
+    return int(np.count_nonzero(np.bincount(valid.astype(np.int64, copy=False))))

@@ -15,6 +15,7 @@ from repro.search.evaluation import (
     DesignCache,
     EvaluationRuntime,
     StagedEvaluator,
+    StageTimings,
 )
 from repro.search.mlmodel import GradientBoostedTrees, RegressionTree
 from repro.search.annealing import AnnealingSchedule
@@ -30,6 +31,7 @@ __all__ = [
     "DesignCache",
     "EvaluationRuntime",
     "StagedEvaluator",
+    "StageTimings",
     "GradientBoostedTrees",
     "RegressionTree",
     "AnnealingSchedule",

@@ -37,11 +37,13 @@ from repro.core.kernel.program import GeneratedProgram
 from repro.core.optimizer import ModelDrivenCompressor
 from repro.gpu.arch import GPUSpec
 from repro.gpu.executor import PlanValidationError
+from repro.gpu.analysis import LeafAnalysisCache, content_digest
 from repro.search.annealing import AnnealingSchedule
 from repro.search.evaluation import (
     DesignCache,
     EvaluationRuntime,
     StagedEvaluator,
+    StageTimings,
     matrix_token,
 )
 from repro.search.mlmodel import GradientBoostedTrees, mean_absolute_deviation
@@ -103,6 +105,19 @@ class EvalRecord:
     level: str  # "coarse" | "fine"
     error: str = ""
 
+    def identity(self) -> Tuple:
+        """Hashable form of every result-bearing field — the byte-identity
+        contract the cache/parallelism tests and benchmarks compare on."""
+        return (
+            self.iteration,
+            self.structure_sig,
+            tuple(sorted(map(str, self.assignment.items()))),
+            self.gflops,
+            self.valid,
+            self.level,
+            self.error,
+        )
+
 
 @dataclass
 class SearchResult:
@@ -126,6 +141,12 @@ class SearchResult:
     design_cache_hits: int = 0
     design_cache_misses: int = 0
     jobs: int = 1
+    #: leaf-analysis cache counters (design-level lookups) and the
+    #: per-stage wall-time breakdown (design / assembly / analysis /
+    #: verify / ml) accumulated by the staged evaluator.
+    analysis_cache_hits: int = 0
+    analysis_cache_misses: int = 0
+    stage_times: Dict[str, float] = field(default_factory=dict)
 
     @property
     def best_time_s(self) -> float:
@@ -150,6 +171,9 @@ class _SearchState:
     token: Tuple
     x: np.ndarray
     reference: np.ndarray
+    #: content key of (x, reference) under which design-level numeric
+    #: verdicts are cached — computed once per search.
+    verify_key: str = ""
     history: List[EvalRecord] = field(default_factory=list)
     evals: int = 0
     best_gflops: float = 0.0
@@ -184,6 +208,7 @@ class SearchEngine:
         enable_extensions: bool = False,
         enable_seeding: bool = True,
         enable_design_cache: bool = True,
+        enable_analysis_cache: bool = True,
         runtime: Optional[EvaluationRuntime] = None,
     ) -> None:
         self.gpu = gpu
@@ -204,7 +229,15 @@ class SearchEngine:
         self.cache: Optional[DesignCache] = (
             DesignCache() if enable_design_cache else None
         )
-        self.evaluator = StagedEvaluator(self.builder, cache=self.cache)
+        #: leaf-level plan-analysis cache (None = ablated): shares cost
+        #: projections, functional y and verdicts across each design
+        #: leaf's runtime-parameter grid.
+        self.analysis: Optional[LeafAnalysisCache] = (
+            LeafAnalysisCache() if enable_analysis_cache else None
+        )
+        self.evaluator = StagedEvaluator(
+            self.builder, cache=self.cache, analysis=self.analysis
+        )
         #: ``runtime`` injection lets many engines share one worker pool
         #: (the benchmark harness does this); an injected runtime is the
         #: caller's to close.
@@ -251,6 +284,10 @@ class SearchEngine:
         start = time.perf_counter()
         rng = np.random.default_rng(self.seed if seed is None else seed)
         cache_before = self.cache.stats() if self.cache is not None else None
+        analysis_before = (
+            self.analysis.stats() if self.analysis is not None else None
+        )
+        timings_before = self.evaluator.timings.snapshot()
         designer_before = self.builder.designer.executions
         banned = (
             self.pruning.ban_list(matrix.stats) if self.enable_pruning else set()
@@ -263,12 +300,14 @@ class SearchEngine:
         schedule = self.annealing.clone()
 
         x = np.random.default_rng(0x5EED).random(matrix.n_cols)
+        reference = matrix.spmv_reference(x)
         state = _SearchState(
             start=start,
             budget=self.budget,
             token=matrix_token(matrix),
             x=x,
-            reference=matrix.spmv_reference(x),
+            reference=reference,
+            verify_key=content_digest(x, reference),
         )
 
         incumbent_score = 0.0
@@ -338,6 +377,14 @@ class SearchEngine:
             if cache_before is not None
             else None
         )
+        analysis_delta = (
+            self.analysis.stats().since(analysis_before)
+            if analysis_before is not None
+            else None
+        )
+        stage_times = StageTimings.since(
+            timings_before, self.evaluator.timings.snapshot()
+        )
         return SearchResult(
             matrix_name=matrix.name,
             gpu_name=self.gpu.name,
@@ -355,6 +402,9 @@ class SearchEngine:
             design_cache_hits=cache_delta.hits if cache_delta else 0,
             design_cache_misses=cache_delta.misses if cache_delta else 0,
             jobs=self.runtime.jobs,
+            analysis_cache_hits=analysis_delta.hits if analysis_delta else 0,
+            analysis_cache_misses=analysis_delta.misses if analysis_delta else 0,
+            stage_times=stage_times,
         )
 
     # ------------------------------------------------------------------
@@ -424,13 +474,30 @@ class SearchEngine:
         state: _SearchState,
     ) -> Tuple[float, Optional[GeneratedProgram], str]:
         """Build + run one candidate; invalid candidates score 0."""
+        timings = self.evaluator.timings
         try:
             graph = graph_with_params(proposal.graph, assignment, proposal.locks)
             program = self.evaluator.build(matrix, graph, token=state.token)
+            t0 = time.perf_counter()
+            # "analysis" stage = plan analysis + cost projection +
+            # functional execution (program.run), cached or not — with the
+            # analysis cache on, hits make this stage collapse.
             result = program.run(state.x, self.gpu)
+            timings.add("analysis", time.perf_counter() - t0)
             # Order-tolerant gate: atomic-reduction candidates accumulate in
             # a different order than the reference (see spmv_allclose).
-            if not spmv_allclose(result.y, state.reference):
+            # The verdict is a function of the design (not the runtime
+            # scalars), so analysis-backed programs verify once per design.
+            t0 = time.perf_counter()
+            if program.analysis is not None:
+                ok = program.analysis.verdict(
+                    state.verify_key,
+                    lambda: spmv_allclose(result.y, state.reference),
+                )
+            else:
+                ok = spmv_allclose(result.y, state.reference)
+            timings.add("verify", time.perf_counter() - t0)
+            if not ok:
                 return 0.0, None, "numeric mismatch"
             return float(result.gflops), program, ""
         except (
@@ -476,12 +543,14 @@ class SearchEngine:
             samples = [r for r in valid if r.structure_sig == sig]
             if len(samples) < self.budget.ml_min_samples:
                 continue
+            t0 = time.perf_counter()
             X = np.stack(
                 [features_for(slots, self._key_assign(r.assignment)) for r in samples]
             )
             y = np.array([r.gflops for r in samples])
             model = GradientBoostedTrees().fit(X, y)
             mad = mean_absolute_deviation(y, model.predict(X))
+            self.evaluator.timings.add("ml", time.perf_counter() - t0)
 
             fine = enumerate_param_grid(
                 proposal.graph,
@@ -501,8 +570,10 @@ class SearchEngine:
             ]
             if not fine:
                 continue
+            t0 = time.perf_counter()
             Xf = np.stack([features_for(slots, a) for a in fine])
             pred = model.predict(Xf)
+            self.evaluator.timings.add("ml", time.perf_counter() - t0)
             # Stable sort: tied predictions resolve to enumeration order,
             # which lists design-relevant combinations in contiguous blocks
             # — tied fine probes then share design leaves with one another

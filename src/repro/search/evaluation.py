@@ -20,6 +20,11 @@ a first-class subsystem with three pieces:
     (cached) and the parameter-level plan-assembly phase (run per
     candidate).  With ``cache=None`` it degrades to the plain uncached
     build, which the engine's ``enable_design_cache=False`` ablation uses.
+    With ``analysis`` set (a :class:`~repro.gpu.analysis.LeafAnalysisCache`)
+    assembly and execution become incremental across each design leaf's
+    runtime grid: kernel units, cost projections and the functional ``y`` /
+    numeric verdict are computed once per leaf and shared by every
+    candidate.  Per-stage wall time is accumulated in :attr:`timings`.
 
 :class:`EvaluationRuntime`
     Maps an evaluation function over a candidate batch — a
@@ -30,19 +35,18 @@ a first-class subsystem with three pieces:
 
 from __future__ import annotations
 
-import hashlib
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.designer import DesignError, DesignLeaf
 from repro.core.graph import OperatorGraph
 from repro.core.kernel.builder import KernelBuilder, design_signature
 from repro.core.kernel.program import GeneratedProgram
+from repro.gpu.analysis import AnalysisStats, LeafAnalysisCache, content_digest
 from repro.sparse.matrix import SparseMatrix
 
 __all__ = [
@@ -50,6 +54,7 @@ __all__ = [
     "DesignCache",
     "StagedEvaluator",
     "EvaluationRuntime",
+    "StageTimings",
     "matrix_token",
 ]
 
@@ -63,10 +68,8 @@ def matrix_token(matrix: SparseMatrix) -> Tuple:
     Hashing the triplets (rather than trusting ``matrix.name``) keeps a
     shared multi-matrix cache safe for anonymous or same-named matrices.
     """
-    h = hashlib.blake2b(digest_size=16)
-    for arr in (matrix.rows, matrix.cols, matrix.vals):
-        h.update(np.ascontiguousarray(arr).tobytes())
-    return (matrix.name, matrix.n_rows, matrix.n_cols, matrix.nnz, h.hexdigest())
+    digest = content_digest(matrix.rows, matrix.cols, matrix.vals)
+    return (matrix.name, matrix.n_rows, matrix.n_cols, matrix.nnz, digest)
 
 
 @dataclass(frozen=True)
@@ -188,14 +191,47 @@ class DesignCache:
             )
 
 
+class StageTimings:
+    """Thread-safe accumulator of per-stage wall time.
+
+    Under a worker pool, concurrent stage time adds up like CPU time —
+    stage sums may exceed elapsed wall clock.  Snapshots are plain dicts;
+    :meth:`since` turns two snapshots into a per-search delta.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds: Dict[str, float] = {}
+
+    def add(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self._seconds[stage] = self._seconds.get(stage, 0.0) + seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._seconds)
+
+    @staticmethod
+    def since(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:
+        return {
+            stage: after[stage] - before.get(stage, 0.0) for stage in sorted(after)
+        }
+
+
 class StagedEvaluator:
-    """Two-phase candidate builds: cached design + per-candidate assembly."""
+    """Two-phase candidate builds: cached design + per-candidate assembly,
+    with optional leaf-level analysis reuse across the runtime grid."""
 
     def __init__(
-        self, builder: KernelBuilder, cache: Optional[DesignCache] = None
+        self,
+        builder: KernelBuilder,
+        cache: Optional[DesignCache] = None,
+        analysis: Optional[LeafAnalysisCache] = None,
     ) -> None:
         self.builder = builder
         self.cache = cache
+        self.analysis = analysis
+        self.timings = StageTimings()
 
     def build(
         self,
@@ -209,13 +245,30 @@ class StagedEvaluator:
         evaluating many candidates of one matrix to hash the triplets once
         per search instead of once per candidate.
         """
-        if self.cache is None:
-            return self.builder.build(matrix, graph)
+        if self.cache is None and self.analysis is None:
+            t0 = time.perf_counter()
+            leaves = self.builder.design_phase(matrix, graph)
+            self.timings.add("design", time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            program = self.builder.assembly_phase(matrix, graph, leaves)
+            self.timings.add("assembly", time.perf_counter() - t0)
+            return program
         key = (token or matrix_token(matrix), design_signature(graph))
-        leaves = self.cache.get_or_design(
-            key, lambda: self.builder.design_phase(matrix, graph)
+        t0 = time.perf_counter()
+        if self.cache is None:
+            leaves = self.builder.design_phase(matrix, graph)
+        else:
+            leaves = self.cache.get_or_design(
+                key, lambda: self.builder.design_phase(matrix, graph)
+            )
+        self.timings.add("design", time.perf_counter() - t0)
+        design = None if self.analysis is None else self.analysis.for_design(key)
+        t0 = time.perf_counter()
+        program = self.builder.assembly_phase(
+            matrix, graph, leaves, analysis=design
         )
-        return self.builder.assembly_phase(matrix, graph, leaves)
+        self.timings.add("assembly", time.perf_counter() - t0)
+        return program
 
 
 class EvaluationRuntime:

@@ -45,76 +45,204 @@ class RegressionTree:
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self._root: Optional[_Node] = None
+        self._flat: Optional[Tuple[np.ndarray, ...]] = None
+        #: per-training-sample leaf value, filled during fit — the boosting
+        #: loop reads this instead of re-running predict on the train set.
+        self.train_predictions: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, order: Optional[np.ndarray] = None
+    ) -> "RegressionTree":
+        """Fit the tree.  ``order`` optionally supplies the per-column
+        stable argsort of ``X`` — boosting refits the same ``X`` for every
+        estimator, so the caller can sort once for the whole ensemble."""
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
         if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
             raise ValueError("X must be (n, d) and y (n,)")
         if X.shape[0] == 0:
             raise ValueError("cannot fit on empty data")
-        self._root = self._build(X, y, depth=0)
+        self.train_predictions = np.empty(X.shape[0], dtype=np.float64)
+        self._root = self._build(
+            X,
+            y,
+            depth=0,
+            idx=np.arange(X.shape[0]),
+            out=self.train_predictions,
+            order=order,
+        )
+        self._flat = self._flatten(self._root)
         return self
 
-    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
-        node = _Node(value=float(y.mean()))
+    @staticmethod
+    def _flatten(root: _Node) -> Tuple[np.ndarray, ...]:
+        """Array form of the tree (feature/threshold/children/value per
+        node; ``feature == -1`` marks leaves) for vectorised prediction."""
+        features: List[int] = []
+        thresholds: List[float] = []
+        lefts: List[int] = []
+        rights: List[int] = []
+        values: List[float] = []
+
+        def add(node: _Node) -> int:
+            idx = len(features)
+            features.append(node.feature if not node.is_leaf else -1)
+            thresholds.append(node.threshold)
+            values.append(node.value)
+            lefts.append(-1)
+            rights.append(-1)
+            if not node.is_leaf:
+                lefts[idx] = add(node.left)
+                rights[idx] = add(node.right)
+            return idx
+
+        add(root)
+        return (
+            np.asarray(features, dtype=np.int64),
+            np.asarray(thresholds, dtype=np.float64),
+            np.asarray(lefts, dtype=np.int64),
+            np.asarray(rights, dtype=np.int64),
+            np.asarray(values, dtype=np.float64),
+        )
+
+    def _build(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        depth: int,
+        idx: np.ndarray,
+        out: np.ndarray,
+        order: Optional[np.ndarray] = None,
+    ) -> _Node:
+        node = _Node(value=float(y.sum()) / y.size)
         if depth >= self.max_depth or y.size < 2 * self.min_samples_leaf:
+            out[idx] = node.value
             return node
-        best = self._best_split(X, y)
+        best = self._best_split(X, y, order)
         if best is None:
+            out[idx] = node.value
             return node
         feature, threshold = best
         mask = X[:, feature] <= threshold
         node.feature = feature
         node.threshold = threshold
-        node.left = self._build(X[mask], y[mask], depth + 1)
-        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        node.left = self._build(X[mask], y[mask], depth + 1, idx[mask], out)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, idx[~mask], out)
         return node
 
+    #: below this sample count the pure-Python split scan wins — NumPy call
+    #: overhead dominates at boosting's typical 6-10 coarse samples, and
+    #: both paths are bit-identical there (sequential accumulation).
+    _SMALL_N = 64
+
     def _best_split(
-        self, X: np.ndarray, y: np.ndarray
+        self, X: np.ndarray, y: np.ndarray, order: Optional[np.ndarray] = None
     ) -> Optional[Tuple[int, float]]:
         n, d = X.shape
+        if n <= self._SMALL_N:
+            return self._best_split_small(X, y, order)
+        # Candidate split positions (the left part gets i samples); the
+        # range construction guarantees min_samples_leaf per side and i < n.
+        i = np.arange(self.min_samples_leaf, n - self.min_samples_leaf + 1)
+        if i.size == 0:
+            return None
         base_sse = float(((y - y.mean()) ** 2).sum())
+        # Score every (split, feature) pair in one vectorised pass: sort
+        # each column, then prefix sums give O(n*d) split scoring.
+        if order is None:
+            order = np.argsort(X, axis=0, kind="stable")
+        cols = np.arange(d)
+        xs = X[order, cols]
+        ys = y[order]
+        csum = np.cumsum(ys, axis=0)
+        csum2 = np.cumsum(ys * ys, axis=0)
+        left_csum = csum[i - 1, :]
+        left_csum2 = csum2[i - 1, :]
+        i_col = i[:, None]
+        left_sse = left_csum2 - left_csum**2 / i_col
+        right_sum = csum[-1, :] - left_csum
+        right_sse = (csum2[-1, :] - left_csum2) - right_sum**2 / (n - i_col)
+        gain = base_sse - (left_sse + right_sse)
+        gain[xs[i - 1, :] == xs[i, :]] = -np.inf  # cannot split between equals
+        # Feature-major first-maximum reproduces the original scan's
+        # tie-breaking (earliest feature, then earliest split position).
+        flat = gain.T.ravel()
+        pick = int(np.argmax(flat))
+        if not flat[pick] > 1e-12:
+            return None
+        feature, pos = divmod(pick, i.size)
+        split = int(i[pos])
+        threshold = (xs[split - 1, feature] + xs[split, feature]) / 2.0
+        return (int(feature), float(threshold))
+
+    def _best_split_small(
+        self, X: np.ndarray, y: np.ndarray, order: Optional[np.ndarray]
+    ) -> Optional[Tuple[int, float]]:
+        """Pure-Python split scan for small sample counts.
+
+        Identical arithmetic and tie-breaking to the vectorised path: the
+        same sequential prefix sums, the same strict-improvement scan over
+        features then split positions.
+        """
+        n, d = X.shape
+        lo = self.min_samples_leaf
+        hi = n - lo + 1
+        if hi <= lo:
+            return None
+        ylist = y.tolist()
+        total_y = sum(ylist)
+        mean = total_y / n
+        base_sse = sum((v - mean) ** 2 for v in ylist)
+        cols = X.T.tolist()
+        orders = order.T.tolist() if order is not None else None
         best_gain = 1e-12
         best: Optional[Tuple[int, float]] = None
         for j in range(d):
-            order = np.argsort(X[:, j], kind="stable")
-            xs, ys = X[order, j], y[order]
-            # Prefix sums give O(n) split scoring after the sort.
-            csum = np.cumsum(ys)
-            csum2 = np.cumsum(ys * ys)
-            total, total2 = csum[-1], csum2[-1]
-            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
-                if i < n and xs[i - 1] == xs[i]:
+            col = cols[j]
+            oj = (
+                orders[j]
+                if orders is not None
+                else sorted(range(n), key=col.__getitem__)
+            )
+            xs = [col[k] for k in oj]
+            ys = [ylist[k] for k in oj]
+            csum = [0.0] * n
+            csum2 = [0.0] * n
+            acc = acc2 = 0.0
+            for k, v in enumerate(ys):
+                acc += v
+                acc2 += v * v
+                csum[k] = acc
+                csum2[k] = acc2
+            for i in range(lo, hi):
+                if xs[i - 1] == xs[i]:
                     continue  # cannot split between equal values
                 left_sse = csum2[i - 1] - csum[i - 1] ** 2 / i
-                right_n = n - i
-                right_sum = total - csum[i - 1]
-                right_sse = (total2 - csum2[i - 1]) - right_sum**2 / right_n
+                right_sum = acc - csum[i - 1]
+                right_sse = (acc2 - csum2[i - 1]) - right_sum**2 / (n - i)
                 gain = base_sse - (left_sse + right_sse)
                 if gain > best_gain:
                     best_gain = gain
-                    threshold = (
-                        (xs[i - 1] + xs[i]) / 2.0 if i < n else xs[i - 1]
-                    )
-                    best = (j, float(threshold))
+                    best = (j, (xs[i - 1] + xs[i]) / 2.0)
         return best
 
     # ------------------------------------------------------------------
     def predict(self, X: np.ndarray) -> np.ndarray:
-        if self._root is None:
+        if self._root is None or self._flat is None:
             raise RuntimeError("tree is not fitted")
         X = np.asarray(X, dtype=np.float64)
-        out = np.empty(X.shape[0], dtype=np.float64)
-        for i, row in enumerate(X):
-            node = self._root
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-                assert node is not None
-            out[i] = node.value
-        return out
+        features, thresholds, lefts, rights, values = self._flat
+        idx = np.zeros(X.shape[0], dtype=np.int64)
+        # Level-synchronous descent: one vectorised step per tree level
+        # instead of a Python loop per sample.
+        active = np.flatnonzero(features[idx] >= 0)
+        while active.size:
+            node = idx[active]
+            go_left = X[active, features[node]] <= thresholds[node]
+            idx[active] = np.where(go_left, lefts[node], rights[node])
+            active = active[features[idx[active]] >= 0]
+        return values[idx]
 
 
 class GradientBoostedTrees:
@@ -142,6 +270,7 @@ class GradientBoostedTrees:
         self.min_samples_leaf = min_samples_leaf
         self._base: float = 0.0
         self._trees: List[RegressionTree] = []
+        self._forest: Optional[Tuple[np.ndarray, ...]] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
         X = np.asarray(X, dtype=np.float64)
@@ -151,22 +280,66 @@ class GradientBoostedTrees:
         self._base = float(y.mean())
         self._trees = []
         residual = y - self._base
+        # The train matrix never changes across estimators: sort its
+        # columns once for every root-level split search.
+        root_order = np.argsort(X, axis=0, kind="stable")
         for _ in range(self.n_estimators):
             tree = RegressionTree(self.max_depth, self.min_samples_leaf)
-            tree.fit(X, residual)
-            update = tree.predict(X)
-            if np.allclose(update, 0.0):
+            tree.fit(X, residual, order=root_order)
+            # Each training sample's prediction is its leaf value, recorded
+            # during the build — no predict pass over the train set needed.
+            update = tree.train_predictions
+            if float(np.abs(update).max()) <= 1e-8:  # == allclose(update, 0)
                 break
             residual = residual - self.learning_rate * update
             self._trees.append(tree)
+        self._forest = self._stack_forest()
         return self
+
+    def _stack_forest(self) -> Optional[Tuple[np.ndarray, ...]]:
+        """Concatenate every tree's flat node arrays (child indices
+        rebased) so prediction descends all trees of the ensemble in one
+        vectorised pass."""
+        if not self._trees:
+            return None
+        features, thresholds, lefts, rights, values, roots = [], [], [], [], [], []
+        offset = 0
+        for tree in self._trees:
+            f, t, l, r, v = tree._flat
+            roots.append(offset)
+            features.append(f)
+            thresholds.append(t)
+            lefts.append(np.where(l >= 0, l + offset, -1))
+            rights.append(np.where(r >= 0, r + offset, -1))
+            values.append(v)
+            offset += f.size
+        return (
+            np.concatenate(features),
+            np.concatenate(thresholds),
+            np.concatenate(lefts),
+            np.concatenate(rights),
+            np.concatenate(values),
+            np.asarray(roots, dtype=np.int64),
+        )
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         X = np.asarray(X, dtype=np.float64)
-        out = np.full(X.shape[0], self._base, dtype=np.float64)
-        for tree in self._trees:
-            out += self.learning_rate * tree.predict(X)
-        return out
+        if self._forest is None:
+            return np.full(X.shape[0], self._base, dtype=np.float64)
+        features, thresholds, lefts, rights, values, roots = self._forest
+        n, t = X.shape[0], roots.size
+        # One flat (sample, tree) descent over the whole ensemble.
+        idx = np.tile(roots, n)
+        sample = np.repeat(np.arange(n), t)
+        active = np.flatnonzero(features[idx] >= 0)
+        while active.size:
+            node = idx[active]
+            go_left = X[sample[active], features[node]] <= thresholds[node]
+            idx[active] = np.where(go_left, lefts[node], rights[node])
+            active = active[features[idx[active]] >= 0]
+        return self._base + self.learning_rate * values[idx].reshape(n, t).sum(
+            axis=1
+        )
 
     @property
     def n_trees(self) -> int:

@@ -44,11 +44,7 @@ def _engine(jobs=1, cache=True, seed=3, budget=SMALL_BUDGET):
 
 
 def _history_tuple(result):
-    return [
-        (r.iteration, r.structure_sig, tuple(sorted(map(str, r.assignment.items()))),
-         r.gflops, r.valid, r.level, r.error)
-        for r in result.history
-    ]
+    return [r.identity() for r in result.history]
 
 
 class TestCacheCorrectness:
