@@ -1,4 +1,4 @@
-"""Record the staged-runtime search-speed baseline.
+"""Record (or regression-check) the staged-runtime search-speed baseline.
 
 Runs one standard-budget search per corpus matrix in four configurations —
 serial/uncached (the pre-refactor behaviour), serial/cached, and cached
@@ -7,10 +7,18 @@ wall-clock numbers plus cache counters to ``BENCH_search_speed.json`` at
 the repo root.  Not a pytest module: run it directly.
 
     PYTHONPATH=src python benchmarks/bench_search_speed.py
+
+``--check`` mode (the CI perf gate) re-measures only the serial
+configurations, best-of-N, and fails — without touching the committed
+JSON — when serial search runs slower than ``--max-regression`` times the
+recorded baseline:
+
+    PYTHONPATH=src python benchmarks/bench_search_speed.py --check
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
@@ -45,7 +53,53 @@ def _run(jobs: int, cache: bool, seed: int = 0):
     return wall, results
 
 
+def check(max_regression: float, repeats: int) -> int:
+    """CI perf gate: fail when serial search regresses vs the committed
+    baseline.  Best-of-``repeats`` damps scheduler noise; the factor
+    absorbs machine-to-machine variance (the gate catches algorithmic
+    regressions, not hardware differences)."""
+    try:
+        with open(OUT_PATH) as fh:
+            recorded = json.load(fh)["wall_s"]
+    except (OSError, KeyError, json.JSONDecodeError) as exc:
+        print(f"cannot load committed baseline {OUT_PATH}: {exc}")
+        return 2
+    failures = []
+    for name, cfg in (
+        ("serial_cached", dict(jobs=1, cache=True)),
+        ("serial_uncached", dict(jobs=1, cache=False)),
+    ):
+        baseline = recorded.get(name)
+        if baseline is None:
+            print(f"baseline has no {name!r} entry; re-record it")
+            return 2
+        wall = min(_run(**cfg)[0] for _ in range(repeats))
+        ratio = wall / baseline
+        verdict = "ok" if ratio <= max_regression else "REGRESSION"
+        print(f"{name:>16}: {wall:6.3f}s vs recorded {baseline:6.3f}s "
+              f"({ratio:4.2f}x, limit {max_regression:.1f}x) {verdict}")
+        if ratio > max_regression:
+            failures.append(name)
+    if failures:
+        print(f"serial search regressed >{max_regression:.1f}x on: "
+              f"{', '.join(failures)}")
+        return 1
+    return 0
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline "
+                             "instead of re-recording it")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail --check when serial wall clock exceeds "
+                             "this multiple of the recorded number")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N runs per configuration in --check")
+    args = parser.parse_args()
+    if args.check:
+        return check(args.max_regression, args.repeats)
     configs = {
         "serial_uncached": dict(jobs=1, cache=False),
         "serial_cached": dict(jobs=1, cache=True),

@@ -7,7 +7,6 @@ guaranteeing the search never loses to an expressible artificial format.
 This bench quantifies what the seeds buy under a tight budget.
 """
 
-import numpy as np
 
 from repro.analysis import geomean, render_table
 from repro.gpu import A100

@@ -16,7 +16,7 @@ import numpy as np
 from repro.analysis import render_table
 from repro.baselines import get_baseline
 from repro.gpu import A100
-from repro.search import SearchBudget, SearchEngine
+from repro.search import SearchEngine
 from repro.sparse import named_matrix
 
 from conftest import BENCH_BUDGET, bench_engine

@@ -5,7 +5,6 @@ matrix size but peak for highly irregular matrices — TACO's generated CSR
 kernel has no load balancing or GPU-feature utilisation.
 """
 
-import numpy as np
 
 from repro.analysis import geomean, render_table
 from repro.baselines import get_baseline

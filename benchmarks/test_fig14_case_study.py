@@ -6,7 +6,6 @@
     pruning a further +78 % in the paper's measurement.
 """
 
-import numpy as np
 
 from repro.analysis import classify_creativity, render_table
 from repro.baselines import PerfectFormatSelector, SOTA_FORMATS

@@ -11,7 +11,6 @@ matters under a budget).
 
 import os
 
-import numpy as np
 
 from repro.analysis import geomean, render_table
 from repro.gpu import A100

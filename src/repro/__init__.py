@@ -46,6 +46,8 @@ from repro.baselines import (
     SOTA_FORMATS,
     PFS_MEMBERS,
 )
+from repro.store import DesignStore
+from repro.serve import Frontend
 
 __version__ = "1.0.0"
 
@@ -76,5 +78,7 @@ __all__ = [
     "get_baseline",
     "SOTA_FORMATS",
     "PFS_MEMBERS",
+    "DesignStore",
+    "Frontend",
     "__version__",
 ]

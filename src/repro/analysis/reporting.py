@@ -7,7 +7,7 @@ runs.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 __all__ = ["render_table", "render_series", "render_search_summary"]
 

@@ -45,8 +45,6 @@ class DiaBaseline(SpmvBaseline):
 
         # Dense (diag, row) grid, padding where the diagonal has no entry.
         values = np.zeros(n_diags * n, dtype=np.float64)
-        cols = np.zeros(n_diags * n, dtype=np.int64)
-        rows = np.repeat(np.arange(n, dtype=np.int64), 1)  # filled below
         grid_rows = np.tile(np.arange(n, dtype=np.int64), n_diags)
         elem_diag = (matrix.cols - matrix.rows).astype(np.int64)
         slots = (

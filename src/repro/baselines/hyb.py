@@ -27,7 +27,6 @@ def hyb_split(matrix: SparseMatrix, ell_width: int) -> tuple:
     """Split into (ELL part, COO part): first ``ell_width`` non-zeros of
     every row vs the overflow.  Either part may be empty."""
     offsets = matrix.row_offsets()
-    lengths = matrix.row_lengths()
     pos_in_row = np.arange(matrix.nnz, dtype=np.int64) - offsets[matrix.rows]
     in_ell = pos_in_row < ell_width
     ell = SparseMatrix(

@@ -23,7 +23,12 @@ CLI entry point: ``python -m repro bench <matrices...> [--jobs N]
 [--resume PATH]``.
 """
 
-from repro.bench.store import ResultStore, ResultStoreError
+from repro.bench.store import (
+    ResultStore,
+    ResultStoreError,
+    ResultStoreVersionError,
+    StoreVersionError,
+)
 from repro.bench.runner import CorpusRunner, CorpusRunResult, CorpusRunStats
 from repro.bench.aggregate import (
     baseline_speedups,
@@ -35,6 +40,8 @@ from repro.bench.aggregate import (
 __all__ = [
     "ResultStore",
     "ResultStoreError",
+    "ResultStoreVersionError",
+    "StoreVersionError",
     "CorpusRunner",
     "CorpusRunResult",
     "CorpusRunStats",

@@ -33,6 +33,8 @@ from repro.search import SearchBudget, SearchEngine
 from repro.search.evaluation import matrix_token
 from repro.sparse.collection import CorpusEntry
 from repro.sparse.matrix import SparseMatrix
+from repro.store.design import DesignStore
+from repro.store.records import search_result_record
 
 __all__ = ["CorpusRunner", "CorpusRunResult", "CorpusRunStats", "DEFAULT_BASELINES"]
 
@@ -69,6 +71,13 @@ class CorpusRunner:
     ``engine`` may be injected to share a cache/pool beyond one runner
     (mirroring ``SearchEngine``'s injectable runtime); an injected engine
     is the caller's to close.
+
+    ``design_store`` additionally persists every search to a
+    :class:`~repro.store.design.DesignStore`: designs are written through
+    the engine (warm-starting later runs) and each matrix's winning
+    result+artifact is recorded, so a corpus run doubles as a serving
+    warm-up.  The store never changes what is measured — records stay
+    byte-identical with or without it.
     """
 
     def __init__(
@@ -80,13 +89,17 @@ class CorpusRunner:
         baselines: Optional[Sequence[str]] = None,
         engine: Optional[SearchEngine] = None,
         progress: Optional[Callable[[str], None]] = None,
+        design_store: Optional[DesignStore] = None,
     ) -> None:
         self.gpu = gpu
         self.seed = seed
         self.store = store if store is not None else ResultStore()
         self.baselines = list(baselines) if baselines else list(DEFAULT_BASELINES)
+        self.design_store = design_store
         self._owns_engine = engine is None
-        self.engine = engine or SearchEngine(gpu, budget=budget, seed=seed)
+        self.engine = engine or SearchEngine(
+            gpu, budget=budget, seed=seed, store=design_store
+        )
         self.progress = progress or (lambda _msg: None)
 
     # ------------------------------------------------------------------
@@ -222,6 +235,12 @@ class CorpusRunner:
         if result.best_graph is not None:
             best_ops = list(result.best_graph.operator_names())
             creativity = classify_creativity(result.best_graph, matrix)
+        if self.design_store is not None and result.best_graph is not None:
+            self.design_store.put_result(
+                matrix_token(matrix),
+                self.gpu.name,
+                search_result_record(matrix, self.gpu.name, result, seed=seed),
+            )
 
         return {
             "name": matrix.name,

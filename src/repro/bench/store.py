@@ -18,13 +18,32 @@ import os
 import tempfile
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-__all__ = ["ResultStore", "ResultStoreError", "SCHEMA_VERSION"]
+from repro.store.errors import StoreError, StoreVersionError
+
+__all__ = [
+    "ResultStore",
+    "ResultStoreError",
+    "ResultStoreVersionError",
+    "StoreVersionError",
+    "SCHEMA_VERSION",
+]
 
 SCHEMA_VERSION = 1
 
 
-class ResultStoreError(ValueError):
-    """Raised for corrupt store files or mismatched run configurations."""
+class ResultStoreError(StoreError):
+    """Raised for corrupt store files or mismatched run configurations.
+
+    Schema-version mismatches raise :class:`ResultStoreVersionError`,
+    which is *also* the shared
+    :class:`~repro.store.errors.StoreVersionError` (used by the design
+    store too) — so callers can distinguish "re-run with the old code"
+    from "the file is damaged" while broad ``except ResultStoreError``
+    handlers keep catching every store failure."""
+
+
+class ResultStoreVersionError(StoreVersionError, ResultStoreError):
+    """A result store whose schema predates (or postdates) this code."""
 
 
 class ResultStore:
@@ -55,10 +74,20 @@ class ResultStore:
             raise ResultStoreError(
                 f"{self.path!r} is not a result store (no 'matrices' key)"
             )
+        if "schema" not in data:
+            # Pre-versioning files (before run-config pinning existed)
+            # carry no schema marker; without this guard their records
+            # would surface as KeyErrors deep inside aggregation.
+            raise ResultStoreVersionError(
+                f"{self.path!r} has no schema marker — it predates run-"
+                "config pinning; re-run the benchmark to rebuild it "
+                f"(current schema {SCHEMA_VERSION})"
+            )
         if data.get("schema") != SCHEMA_VERSION:
-            raise ResultStoreError(
+            raise ResultStoreVersionError(
                 f"{self.path!r} has schema {data.get('schema')!r}, "
-                f"expected {SCHEMA_VERSION}"
+                f"expected {SCHEMA_VERSION}; rebuild the store with this "
+                "revision (or read it with the revision that wrote it)"
             )
         self._config = data.get("config")
         self._records = dict(data["matrices"])

@@ -8,11 +8,15 @@ Commands::
 
     python -m repro search <matrix.mtx | @named> [more matrices ...]
                            [--gpu A100] [--evals N] [--jobs N] [--profile]
-                           [--out DIR] [--no-pruning] [--extensions] [--seed S]
+                           [--out DIR] [--store DIR] [--no-pruning]
+                           [--extensions] [--seed S]
     python -m repro baselines <matrix.mtx | @named> [--gpu A100]
     python -m repro bench <matrix.mtx | @named | @corpus:N> [more ...]
                           [--gpu A100] [--evals N] [--jobs N] [--seed S]
-                          [--resume PATH]
+                          [--resume PATH] [--store DIR]
+    python -m repro serve <matrix.mtx | @named> [more ...] --store DIR
+                          [--gpu A100] [--evals N] [--jobs N] [--out DIR]
+    python -m repro store {ls | gc | verify} DIR
     python -m repro stats <matrix.mtx | @named>
     python -m repro operators
     python -m repro matrices
@@ -25,6 +29,13 @@ search per matrix — and prints the paper's corpus tables; ``--resume
 PATH`` persists per-matrix results incrementally so an interrupted run
 picks up where it stopped.  ``@corpus:N`` expands to the first N matrices
 of the built-in deterministic corpus (``@corpus:K-N`` for a shard).
+
+``--store DIR`` (search/bench) persists designs and results to an
+on-disk :class:`~repro.store.design.DesignStore`: a later search of the
+same matrix — even in a new process — warm-starts with zero Designer
+runs.  ``serve`` answers requests store-first (exact hit → feature
+nearest-neighbour transfer → bounded fresh search) and ``store
+ls/gc/verify`` inspect, prune and integrity-check a store directory.
 """
 
 from __future__ import annotations
@@ -40,11 +51,14 @@ from repro.analysis import render_search_summary, render_table
 from repro.baselines import PFS_MEMBERS, PerfectFormatSelector, get_baseline
 from repro.bench import CorpusRunner, ResultStore, render_corpus_report
 from repro.core.operators import OPERATOR_REGISTRY, Stage
-from repro.export import export_program
+from repro.export import export_program, write_artifact
 from repro.gpu import gpu_by_name
 from repro.search import SearchBudget, SearchEngine
+from repro.search.evaluation import matrix_token
+from repro.serve import Frontend, default_serve_budget
 from repro.sparse import NAMED_MATRICES, corpus, named_matrix, read_matrix_market
 from repro.sparse.matrix import SparseMatrix
+from repro.store import DesignStore, StoreError, search_result_record
 
 __all__ = ["main"]
 
@@ -59,12 +73,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
     specs: List[str] = args.matrix
     matrices = [_load_matrix(spec) for spec in specs]
     gpu = gpu_by_name(args.gpu)
+    store = DesignStore(args.store) if args.store else None
     engine = SearchEngine(
         gpu,
         budget=SearchBudget(max_total_evals=args.evals, jobs=args.jobs),
         seed=args.seed,
         enable_pruning=not args.no_pruning,
         enable_extensions=args.extensions,
+        store=store,
     )
     try:
         if len(matrices) == 1:
@@ -72,6 +88,18 @@ def _cmd_search(args: argparse.Namespace) -> int:
         return _search_collection(engine, matrices, specs, gpu, args)
     finally:
         engine.close()
+
+
+def _record_search_result(engine, matrix, result, args) -> None:
+    """Persist one finished CLI search to the design store (result entry
+    with the exported artifact inline, so ``serve`` answers it exactly)."""
+    if engine.store is None or result.best_graph is None:
+        return
+    engine.store.put_result(
+        matrix_token(matrix),
+        engine.gpu.name,
+        search_result_record(matrix, engine.gpu.name, result, seed=args.seed),
+    )
 
 
 def _search_single(engine, matrix, spec, gpu, args) -> int:
@@ -88,6 +116,9 @@ def _search_single(engine, matrix, spec, gpu, args) -> int:
           f"{result.total_evaluations} evaluations "
           f"({result.design_cache_hits} hits / "
           f"{result.design_cache_misses} misses)")
+    if engine.store is not None:
+        print(f"design store: {result.store_hits} designs loaded / "
+              f"{result.store_misses} designed ({args.store})")
     if args.profile:
         print()
         print(_render_profile(result))
@@ -95,6 +126,7 @@ def _search_single(engine, matrix, spec, gpu, args) -> int:
         print("no valid candidate found within the evaluation budget; "
               "raise --evals")
         return 1
+    _record_search_result(engine, matrix, result, args)
     print(f"best machine-designed SpMV: {result.best_gflops:.1f} GFLOPS "
           f"({gpu.name} model)")
     print("\nwinning Operator Graph:")
@@ -159,6 +191,7 @@ def _search_collection(engine, matrices, specs, gpu, args) -> int:
             print(f"{matrix.name or spec}: no valid candidate found within "
                   "the evaluation budget; raise --evals")
             continue
+        _record_search_result(engine, matrix, result, args)
         if args.compare_pfs:
             pfs = PerfectFormatSelector().select(matrix, gpu)
             print(f"{matrix.name or spec}: PFS picks {pfs.selected_format} "
@@ -206,12 +239,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     matrices = _expand_bench_specs(args.matrix)
     gpu = gpu_by_name(args.gpu)
     store = ResultStore(args.resume)
+    design_store = DesignStore(args.store) if args.store else None
     runner = CorpusRunner(
         gpu,
         budget=SearchBudget(max_total_evals=args.evals, jobs=args.jobs),
         seed=args.seed,
         store=store,
         progress=print,
+        design_store=design_store,
     )
     with runner:
         result = runner.run(matrices)
@@ -219,11 +254,109 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"\ncorpus run: {stats.measured} measured, {stats.resumed} resumed "
           f"in {stats.wall_s:.1f}s"
           + (f"; results persisted to {args.resume}" if args.resume else ""))
+    if design_store is not None:
+        ds = design_store.stats()
+        print(f"design store: {ds.design_writes} designs + "
+              f"{ds.result_writes} results written, "
+              f"{ds.design_hits} designs warm-started ({args.store})")
     print()
     print(render_corpus_report(
         result.records,
         title=f"Corpus evaluation on {gpu.name} model",
     ))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Store-first request resolution (exact → neighbour → bounded search)."""
+    import dataclasses
+
+    matrices = [_load_matrix(spec) for spec in args.matrix]
+    gpu = gpu_by_name(args.gpu)
+    store = DesignStore(args.store)
+    budget = dataclasses.replace(
+        default_serve_budget(jobs=args.jobs), max_total_evals=args.evals
+    )
+    with Frontend(gpu, store, budget=budget, seed=args.seed,
+                  jobs=args.jobs) as frontend:
+        responses = frontend.resolve_batch(matrices)
+        stats = frontend.stats()
+    rows = []
+    for response in responses:
+        detail = ""
+        if response.source == "neighbour":
+            detail = f"transferred from {response.neighbour_of}"
+        elif response.source == "search":
+            detail = f"{response.evaluations} evaluations"
+        elif response.source == "miss":
+            detail = "no valid design in budget; raise --evals"
+        rows.append([
+            response.matrix_name or "<unnamed>",
+            response.source,
+            f"{response.gflops:.1f}" if response.ok else "-",
+            detail,
+        ])
+    print(render_table(
+        f"Serving {len(responses)} request(s) on {gpu.name} model "
+        f"(store: {args.store})",
+        ["matrix", "source", "GFLOPS", "detail"],
+        rows,
+    ))
+    print(f"frontend: {stats.exact_hits} exact / {stats.neighbour_hits} "
+          f"neighbour / {stats.searches} searched / {stats.misses} missed "
+          f"(hit rate {stats.hit_rate:.0%})")
+    if args.out:
+        used_dirs: set = set()
+        for i, response in enumerate(responses):
+            if response.artifact is None:
+                continue
+            sub = response.matrix_name or f"matrix{i}"
+            if sub in used_dirs:
+                sub = f"{sub}-{i}"
+            used_dirs.add(sub)
+            manifest = write_artifact(
+                response.artifact, os.path.join(args.out, sub)
+            )
+            print(f"{response.matrix_name}: artifact exported: {manifest}")
+    return 0 if any(r.ok for r in responses) else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Maintenance subcommands over one store directory (ls/gc/verify)."""
+    try:
+        store = DesignStore(args.path, create=False)
+    except StoreError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.action == "ls":
+        entries = store.entries()
+        print(render_table(
+            f"Design store {args.path} ({len(entries)} entries)",
+            ["kind", "matrix", "arch", "status", "detail", "bytes"],
+            [
+                [e.kind, e.matrix, e.arch, "ok" if e.ok else "CORRUPT",
+                 e.detail, e.bytes]
+                for e in entries
+            ],
+        ))
+        return 0
+    if args.action == "verify":
+        statuses = store.verify()
+        bad = [s for s in statuses if not s.ok]
+        for status in bad:
+            print(f"CORRUPT {status.kind}/{status.filename}: {status.detail}")
+        print(f"verified {len(statuses)} entries: "
+              f"{len(statuses) - len(bad)} ok, {len(bad)} corrupt")
+        return 1 if bad else 0
+    # gc
+    removed_corrupt, removed_unreferenced = store.gc()
+    for name in removed_corrupt:
+        print(f"removed corrupt entry {name}")
+    for name in removed_unreferenced:
+        print(f"removed unreferenced design {name}")
+    print(f"gc: {len(removed_corrupt)} corrupt + "
+          f"{len(removed_unreferenced)} unreferenced entries removed, "
+          f"{len(store)} kept")
     return 0
 
 
@@ -320,6 +453,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "--evals, less wall clock)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="export artifact directory")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="persistent design store: designs/results are "
+                        "written through, and a repeat search of the same "
+                        "matrix warm-starts with zero Designer runs")
     p.add_argument("--no-pruning", action="store_true")
     p.add_argument("--extensions", action="store_true",
                    help="enable future-work operators (HYB_DECOMP)")
@@ -350,7 +487,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", default=None, metavar="PATH",
                    help="persist per-matrix results to PATH (JSON) as they "
                         "finish and skip matrices already recorded there")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="also populate a persistent design store (designs "
+                        "+ winning artifacts) for warm starts and serving")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="resolve kernel requests store-first: exact design-store hit, "
+             "then feature nearest-neighbour transfer, then a bounded "
+             "fresh search",
+    )
+    p.add_argument("matrix", nargs="+",
+                   help="Matrix Market path(s) or @named-matrix(es)")
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="design-store directory backing the frontend")
+    p.add_argument("--gpu", default="A100")
+    p.add_argument("--evals", type=int, default=96,
+                   help="evaluation budget of the bounded fallback search")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker pool shared by batched request resolution "
+                        "and fallback searches")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="materialise each served artifact under DIR/<name>")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect or maintain a design store (ls / gc / verify)",
+    )
+    p.add_argument("action", choices=("ls", "gc", "verify"),
+                   help="ls: list entries; gc: prune corrupt + "
+                        "unreferenced entries; verify: integrity-check "
+                        "every entry (exit 1 on corruption)")
+    p.add_argument("path", help="design-store directory")
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser("baselines", help="measure every baseline format")
     p.add_argument("matrix")

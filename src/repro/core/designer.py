@@ -12,11 +12,11 @@ from __future__ import annotations
 import os
 import threading
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.graph import GraphNode, OperatorGraph
 from repro.core.metadata import MatrixMetadataSet
-from repro.core.operators import OperatorError, get_operator
+from repro.core.operators import OperatorError
 from repro.sparse.matrix import SparseMatrix
 
 __all__ = ["Designer", "DesignError", "DesignLeaf", "default_invariant_checks"]

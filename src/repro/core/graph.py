@@ -17,7 +17,7 @@ failures as dead candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.core.operators import Stage, get_operator
 

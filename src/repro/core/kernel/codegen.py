@@ -12,11 +12,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.format import MachineDesignedFormat
-from repro.core.kernel.fragments import (
-    adapter_between,
-    get_meta_fragment,
-    reduction_fragment,
-)
+from repro.core.kernel.fragments import adapter_between, reduction_fragment
 from repro.core.kernel.skeleton import KernelSkeleton, LoopLevel
 from repro.core.metadata import MatrixMetadataSet
 from repro.gpu.executor import ExecutionPlan

@@ -10,7 +10,7 @@ the slots with fragments and adapters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 __all__ = ["LoopLevel", "KernelSkeleton"]
 

@@ -14,8 +14,8 @@ kernel and parameter dimensions.  Each operator declares:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Type
 
 from repro.core.metadata import MatrixMetadataSet
 

@@ -9,7 +9,7 @@ right).  Their ``partition`` method returns the element partition.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Tuple
+from typing import List, Mapping
 
 import numpy as np
 

@@ -59,12 +59,23 @@ __all__ = [
 ]
 
 
-def content_digest(*arrays: np.ndarray) -> str:
-    """blake2b-128 content address of one or more arrays (shared by the
-    analysis caches, the engine's verify keys and the matrix token)."""
+def content_digest(*parts: object) -> str:
+    """blake2b-128 content address of arrays / bytes / strings.
+
+    Shared by the analysis caches, the engine's verify keys, the matrix
+    token and the persistent design store's key scheme — one digest
+    function everywhere means a design hydrated from the store lands on
+    exactly the cache keys an in-process design would have, so the
+    leaf-analysis cache fills identically either way.
+    """
     h = hashlib.blake2b(digest_size=16)
-    for arr in arrays:
-        h.update(np.ascontiguousarray(arr).tobytes())
+    for part in parts:
+        if isinstance(part, (bytes, bytearray)):
+            h.update(part)
+        elif isinstance(part, str):
+            h.update(part.encode("utf-8"))
+        else:
+            h.update(np.ascontiguousarray(part).tobytes())
     return h.hexdigest()
 
 

@@ -14,7 +14,7 @@ only their *relative* magnitudes matter for ranking candidate kernels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["GPUSpec", "A100", "RTX2080", "gpu_by_name"]
 

@@ -21,7 +21,7 @@ loops, so a full search stays fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.gpu.arch import GPUSpec

@@ -47,6 +47,7 @@ from repro.search.evaluation import (
     matrix_token,
 )
 from repro.search.mlmodel import GradientBoostedTrees, mean_absolute_deviation
+from repro.store.design import DesignStore
 from repro.search.pruning import PruningRules, default_rules
 from repro.search.space import (
     SampledStructure,
@@ -147,6 +148,10 @@ class SearchResult:
     analysis_cache_hits: int = 0
     analysis_cache_misses: int = 0
     stage_times: Dict[str, float] = field(default_factory=dict)
+    #: persistent design-store counters (design-level lookups during this
+    #: search): hits are designs hydrated from disk instead of designed.
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def best_time_s(self) -> float:
@@ -210,6 +215,7 @@ class SearchEngine:
         enable_design_cache: bool = True,
         enable_analysis_cache: bool = True,
         runtime: Optional[EvaluationRuntime] = None,
+        store: Optional[DesignStore] = None,
     ) -> None:
         self.gpu = gpu
         self.budget = budget or SearchBudget()
@@ -235,8 +241,16 @@ class SearchEngine:
         self.analysis: Optional[LeafAnalysisCache] = (
             LeafAnalysisCache() if enable_analysis_cache else None
         )
+        #: persistent design store (None = purely in-memory caching):
+        #: searches read stored designs through the cache and write every
+        #: Designer outcome back, so a later *process* warm-starts.
+        self.store = store
         self.evaluator = StagedEvaluator(
-            self.builder, cache=self.cache, analysis=self.analysis
+            self.builder,
+            cache=self.cache,
+            analysis=self.analysis,
+            store=store,
+            arch=gpu.name,
         )
         #: ``runtime`` injection lets many engines share one worker pool
         #: (the benchmark harness does this); an injected runtime is the
@@ -288,6 +302,7 @@ class SearchEngine:
             self.analysis.stats() if self.analysis is not None else None
         )
         timings_before = self.evaluator.timings.snapshot()
+        store_before = self.store.stats() if self.store is not None else None
         designer_before = self.builder.designer.executions
         banned = (
             self.pruning.ban_list(matrix.stats) if self.enable_pruning else set()
@@ -385,6 +400,11 @@ class SearchEngine:
         stage_times = StageTimings.since(
             timings_before, self.evaluator.timings.snapshot()
         )
+        store_delta = (
+            self.store.stats().since(store_before)
+            if store_before is not None
+            else None
+        )
         return SearchResult(
             matrix_name=matrix.name,
             gpu_name=self.gpu.name,
@@ -405,6 +425,8 @@ class SearchEngine:
             analysis_cache_hits=analysis_delta.hits if analysis_delta else 0,
             analysis_cache_misses=analysis_delta.misses if analysis_delta else 0,
             stage_times=stage_times,
+            store_hits=store_delta.design_hits if store_delta else 0,
+            store_misses=store_delta.design_misses if store_delta else 0,
         )
 
     # ------------------------------------------------------------------

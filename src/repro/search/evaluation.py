@@ -26,6 +26,14 @@ a first-class subsystem with three pieces:
     numeric verdict are computed once per leaf and shared by every
     candidate.  Per-stage wall time is accumulated in :attr:`timings`.
 
+    With ``store`` set (a :class:`~repro.store.design.DesignStore`) the
+    design phase becomes *read-through persistent*: a miss in the
+    in-memory cache consults the store before running the Designer, and
+    every Designer outcome — success or :class:`DesignError` — is written
+    back.  Stored leaves decode bit-exactly, so search histories are
+    byte-identical store-on vs store-off, and a second search of the same
+    matrix in a *fresh process* performs zero Designer runs.
+
 :class:`EvaluationRuntime`
     Maps an evaluation function over a candidate batch — a
     ``concurrent.futures`` thread pool when ``jobs > 1``, a deterministic
@@ -46,8 +54,9 @@ from repro.core.designer import DesignError, DesignLeaf
 from repro.core.graph import OperatorGraph
 from repro.core.kernel.builder import KernelBuilder, design_signature
 from repro.core.kernel.program import GeneratedProgram
-from repro.gpu.analysis import AnalysisStats, LeafAnalysisCache, content_digest
+from repro.gpu.analysis import LeafAnalysisCache, content_digest
 from repro.sparse.matrix import SparseMatrix
+from repro.store.design import DesignStore
 
 __all__ = [
     "CacheStats",
@@ -220,18 +229,55 @@ class StageTimings:
 
 class StagedEvaluator:
     """Two-phase candidate builds: cached design + per-candidate assembly,
-    with optional leaf-level analysis reuse across the runtime grid."""
+    with optional leaf-level analysis reuse across the runtime grid and
+    optional read-through persistence to a design store."""
 
     def __init__(
         self,
         builder: KernelBuilder,
         cache: Optional[DesignCache] = None,
         analysis: Optional[LeafAnalysisCache] = None,
+        store: Optional[DesignStore] = None,
+        arch: str = "",
     ) -> None:
         self.builder = builder
         self.cache = cache
         self.analysis = analysis
+        #: persistent design store (``arch`` names the GPU the designs are
+        #: stored under — designs here are arch-independent, but the store
+        #: keys on it so a multi-arch deployment can never cross-serve).
+        self.store = store
+        self.arch = arch
         self.timings = StageTimings()
+
+    def _design(
+        self,
+        matrix: SparseMatrix,
+        graph: OperatorGraph,
+        token: Tuple,
+        signature: Tuple,
+    ) -> List[DesignLeaf]:
+        """Design phase with store read-through and write-back.
+
+        Store hits — successes *and* recorded :class:`DesignError`
+        failures — replay without touching the Designer; misses run it and
+        persist the outcome, so the next process warm-starts.
+        """
+        if self.store is None:
+            return self.builder.design_phase(matrix, graph)
+        outcome = self.store.get_design(token, signature, self.arch)
+        if outcome is not None:
+            status, value = outcome
+            if status == "error":
+                raise DesignError(value)
+            return value
+        try:
+            leaves = self.builder.design_phase(matrix, graph)
+        except DesignError as exc:
+            self.store.put_design(token, signature, self.arch, error=str(exc))
+            raise
+        self.store.put_design(token, signature, self.arch, leaves=leaves)
+        return leaves
 
     def build(
         self,
@@ -245,7 +291,7 @@ class StagedEvaluator:
         evaluating many candidates of one matrix to hash the triplets once
         per search instead of once per candidate.
         """
-        if self.cache is None and self.analysis is None:
+        if self.cache is None and self.analysis is None and self.store is None:
             t0 = time.perf_counter()
             leaves = self.builder.design_phase(matrix, graph)
             self.timings.add("design", time.perf_counter() - t0)
@@ -253,13 +299,15 @@ class StagedEvaluator:
             program = self.builder.assembly_phase(matrix, graph, leaves)
             self.timings.add("assembly", time.perf_counter() - t0)
             return program
-        key = (token or matrix_token(matrix), design_signature(graph))
+        token = token or matrix_token(matrix)
+        signature = design_signature(graph)
+        key = (token, signature)
         t0 = time.perf_counter()
         if self.cache is None:
-            leaves = self.builder.design_phase(matrix, graph)
+            leaves = self._design(matrix, graph, token, signature)
         else:
             leaves = self.cache.get_or_design(
-                key, lambda: self.builder.design_phase(matrix, graph)
+                key, lambda: self._design(matrix, graph, token, signature)
             )
         self.timings.add("design", time.perf_counter() - t0)
         design = None if self.analysis is None else self.analysis.for_design(key)

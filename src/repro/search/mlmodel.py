@@ -13,7 +13,7 @@ numeric features — where exact greedy splitting is plenty fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

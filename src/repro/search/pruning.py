@@ -10,7 +10,7 @@ reductions, and so on.  Users can add their own rules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Set
 
 from repro.sparse.matrix import IRREGULARITY_THRESHOLD, MatrixStats

@@ -1,0 +1,15 @@
+"""Serving layer: store-first resolution of kernel requests.
+
+``frontend.resolve(matrix)`` answers by exact design-store hit, then
+feature-signature nearest-neighbour transfer, then a bounded fresh search
+— see :mod:`repro.serve.frontend`.
+"""
+
+from repro.serve.frontend import (
+    Frontend,
+    ServeResponse,
+    ServeStats,
+    default_serve_budget,
+)
+
+__all__ = ["Frontend", "ServeResponse", "ServeStats", "default_serve_budget"]

@@ -1,0 +1,420 @@
+"""Serving frontend: answer "give me a kernel for this matrix" requests.
+
+The production story for AlphaSparse is a service: a user submits a sparse
+matrix, the service returns a machine-designed format+kernel artifact.
+Paying a full search per request is only necessary for matrices nobody has
+seen before; the :class:`Frontend` resolves each request through three
+tiers, cheapest first:
+
+1. **Exact store hit** — the :class:`~repro.store.design.DesignStore`
+   already holds a finished result for this exact matrix content on this
+   arch: answer straight from the stored artifact, zero computation.
+2. **Feature-signature nearest neighbour** — find the stored result whose
+   matrix statistics (the same sparsity features the pruning rules and the
+   GBT cost model condition on, log-scaled; see
+   :func:`repro.store.records.feature_vector`) are closest, transplant its
+   winning Operator Graph onto the new matrix, build + run + numerically
+   verify it.  One candidate evaluation instead of hundreds — and the
+   transferred result is written back, so it becomes an exact hit next
+   time.
+3. **Bounded fresh search** — fall back to a real (budget-capped) search
+   through the store-backed engine; the result (and every design the
+   search produced) is persisted for future requests.
+
+Batches resolve over the engine's existing
+:class:`~repro.search.evaluation.EvaluationRuntime` pool: every request's
+exact-hit lookup (a pure store read) is sharded across the workers, then
+misses resolve in request order — neighbour transfers and fresh searches
+write results that later requests chain on, so ordering them keeps batch
+output identical to sequential resolution (searches still parallelise
+internally over the same pool).  Hit/miss/fallback counters are surfaced
+exactly like the in-memory cache stats (``stats()`` snapshots with
+``since`` deltas).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.designer import DesignError
+from repro.core.graph import GraphValidationError, OperatorGraph
+from repro.core.kernel.builder import BuildError
+from repro.gpu.arch import GPUSpec
+from repro.gpu.executor import PlanValidationError
+from repro.search.engine import SearchBudget, SearchEngine
+from repro.search.evaluation import matrix_token
+from repro.sparse.matrix import SparseMatrix, spmv_allclose
+from repro.store.design import DesignStore
+from repro.store.records import (
+    feature_vector,
+    make_result_record,
+    search_result_record,
+)
+
+__all__ = ["Frontend", "ServeResponse", "ServeStats", "default_serve_budget"]
+
+
+def default_serve_budget(jobs: int = 1) -> SearchBudget:
+    """The bounded fresh-search budget: deep enough to find a usable
+    design, far below the offline-search default (320 evaluations)."""
+    return SearchBudget(
+        max_structures=12,
+        coarse_evals_per_structure=8,
+        max_total_evals=96,
+        ml_top_k=4,
+        jobs=jobs,
+    )
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """Per-tier request counters (``since``-comparable snapshots)."""
+
+    exact_hits: int = 0
+    neighbour_hits: int = 0
+    searches: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.exact_hits + self.neighbour_hits + self.searches + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served without a fresh search."""
+        total = self.requests
+        return (self.exact_hits + self.neighbour_hits) / total if total else 0.0
+
+    def since(self, other: "ServeStats") -> "ServeStats":
+        return ServeStats(
+            exact_hits=self.exact_hits - other.exact_hits,
+            neighbour_hits=self.neighbour_hits - other.neighbour_hits,
+            searches=self.searches - other.searches,
+            misses=self.misses - other.misses,
+        )
+
+
+@dataclass
+class ServeResponse:
+    """One resolved request.
+
+    ``source`` is the tier that answered: ``"store"`` (exact hit),
+    ``"neighbour"`` (transferred design), ``"search"`` (fresh bounded
+    search) or ``"miss"`` (the bounded search found no valid design —
+    raise the budget or search offline).  ``artifact`` is the
+    :func:`repro.export.program_payload` dict; materialise it with
+    :func:`repro.export.write_artifact`.
+    """
+
+    matrix_name: str
+    source: str
+    gflops: float
+    graph: Optional[OperatorGraph] = None
+    artifact: Optional[Dict] = field(default=None, repr=False)
+    neighbour_of: str = ""
+    evaluations: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.source != "miss"
+
+
+class Frontend:
+    """Store-first request resolution over one shared search engine.
+
+    ``engine`` may be injected to share a runtime/cache beyond one
+    frontend (an injected engine is the caller's to close); otherwise the
+    frontend owns a store-backed engine built from ``budget``/``jobs``.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        store: DesignStore,
+        budget: Optional[SearchBudget] = None,
+        seed: int = 0,
+        jobs: int = 1,
+        engine: Optional[SearchEngine] = None,
+        include_artifacts: bool = True,
+    ) -> None:
+        self.gpu = gpu
+        self.store = store
+        self.arch = gpu.name
+        self.seed = seed
+        #: omit artifact payloads from responses/records (smaller stores
+        #: when callers only want the measured numbers)
+        self.include_artifacts = include_artifacts
+        self._owns_engine = engine is None
+        self.engine = engine or SearchEngine(
+            gpu,
+            budget=budget or default_serve_budget(jobs),
+            seed=seed,
+            store=store,
+        )
+        self._lock = threading.Lock()
+        self._stats = ServeStats()
+        #: cached neighbour-ranking index (one store scan, reused across
+        #: requests; invalidated whenever this frontend writes a result)
+        self._metas: Optional[List[Tuple[str, Dict]]] = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "Frontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> ServeStats:
+        with self._lock:
+            return replace(self._stats)
+
+    def refresh(self) -> None:
+        """Drop the cached neighbour index — call when *another* process
+        has been writing to the shared store.  This frontend's own writes
+        invalidate it automatically."""
+        with self._lock:
+            self._metas = None
+
+    def _cached_metas(self) -> List[Tuple[str, Dict]]:
+        with self._lock:
+            metas = self._metas
+        if metas is None:
+            metas = self.store.result_metas(self.arch)
+            with self._lock:
+                # Two pool workers may race on a cold cache; both scans
+                # return the same listing, keep whichever landed first.
+                if self._metas is None:
+                    self._metas = metas
+                metas = self._metas
+        return metas
+
+    def _record_result(self, token: Tuple, record: Dict) -> None:
+        self.store.put_result(token, self.arch, record)
+        self.refresh()
+
+    def _count(self, tier: str) -> None:
+        with self._lock:
+            self._stats = replace(
+                self._stats, **{tier: getattr(self._stats, tier) + 1}
+            )
+
+    # ------------------------------------------------------------------
+    def resolve(self, matrix: SparseMatrix) -> ServeResponse:
+        """Resolve one request: exact hit → neighbour → bounded search."""
+        start = time.perf_counter()
+        token = matrix_token(matrix)
+        response = self._resolve_fast(matrix, token)
+        if response is None:
+            response = self._resolve_search(matrix, token)
+        response.wall_time_s = time.perf_counter() - start
+        return response
+
+    def resolve_batch(
+        self, matrices: Iterable[SparseMatrix]
+    ) -> List[ServeResponse]:
+        """Resolve many requests; responses come back in request order.
+
+        The exact-hit tier — pure store reads — is sharded over the
+        engine's worker pool.  Misses then resolve *in request order*
+        (neighbour transfer, then bounded search), because those tiers
+        write results that later requests may legitimately chain on: a
+        request must see every earlier request's write-back, exactly as
+        sequential :meth:`resolve` calls would.  Batch output is therefore
+        identical to sequential resolution, deterministic for any
+        ``jobs`` setting.
+        """
+        matrices = list(matrices)
+        tokens = [matrix_token(m) for m in matrices]
+
+        def exact(item: Tuple[SparseMatrix, Tuple]) -> Optional[ServeResponse]:
+            t0 = time.perf_counter()
+            response = self._from_store(item[0], item[1])
+            if response is not None:
+                response.wall_time_s = time.perf_counter() - t0
+            return response
+
+        exact_responses = self.engine.runtime.map(
+            exact, list(zip(matrices, tokens))
+        )
+        responses: List[ServeResponse] = []
+        for matrix, token, response in zip(matrices, tokens, exact_responses):
+            if response is not None:
+                self._count("exact_hits")
+            else:
+                t0 = time.perf_counter()
+                # Re-check the exact tier too: an earlier miss in this
+                # loop may just have written this matrix (duplicates).
+                response = self._resolve_fast(matrix, token)
+                if response is None:
+                    response = self._resolve_search(matrix, token)
+                response.wall_time_s = time.perf_counter() - t0
+            responses.append(response)
+        return responses
+
+    # ------------------------------------------------------------------
+    # Tier 1 + 2 (cheap; safe to run on pool workers)
+    # ------------------------------------------------------------------
+    def _resolve_fast(
+        self, matrix: SparseMatrix, token: Tuple
+    ) -> Optional[ServeResponse]:
+        response = self._from_store(matrix, token)
+        if response is not None:
+            self._count("exact_hits")
+            return response
+        response = self._from_neighbour(matrix, token)
+        if response is not None:
+            self._count("neighbour_hits")
+            return response
+        return None
+
+    def _from_store(
+        self, matrix: SparseMatrix, token: Tuple
+    ) -> Optional[ServeResponse]:
+        record = self.store.get_result(token, self.arch)
+        if record is None or record.get("graph") is None:
+            return None
+        return ServeResponse(
+            matrix_name=matrix.name or record.get("name", ""),
+            source="store",
+            gflops=float(record["best_gflops"]),
+            graph=OperatorGraph.from_dict(record["graph"]),
+            artifact=record.get("artifact"),
+            neighbour_of=record.get("neighbour_of", ""),
+        )
+
+    def _from_neighbour(
+        self, matrix: SparseMatrix, token: Tuple
+    ) -> Optional[ServeResponse]:
+        donor = self._nearest(matrix, token)
+        if donor is None:
+            return None
+        try:
+            graph = OperatorGraph.from_dict(donor["graph"])
+        except (KeyError, TypeError, ValueError, GraphValidationError):
+            return None
+        evaluated = self._evaluate_transfer(matrix, token, graph)
+        if evaluated is None:
+            return None
+        gflops, program = evaluated
+        donor_name = str(donor.get("name") or donor.get("matrix_digest", ""))
+        record = make_result_record(
+            matrix,
+            self.arch,
+            gflops,
+            graph,
+            program=program if self.include_artifacts else None,
+            via="neighbour",
+            neighbour_of=donor_name,
+        )
+        self._record_result(token, record)
+        return ServeResponse(
+            matrix_name=matrix.name,
+            source="neighbour",
+            gflops=gflops,
+            graph=graph,
+            artifact=record["artifact"],
+            neighbour_of=donor_name,
+            evaluations=1,
+        )
+
+    def _nearest(
+        self, matrix: SparseMatrix, token: Tuple
+    ) -> Optional[Dict]:
+        """The stored result with the closest feature signature (excluding
+        the matrix itself), deterministically tie-broken.
+
+        Ranking walks only the store's lightweight ``.meta`` sidecars —
+        O(results) small reads — and decodes the one chosen donor's full
+        record (artifact included) at the end."""
+        own = np.asarray(feature_vector(matrix))
+        best: Optional[Tuple[Tuple[float, str, str], str]] = None
+        for digest, meta in self._cached_metas():
+            if not meta.get("has_graph"):
+                continue
+            if meta.get("matrix_digest") == token[-1]:
+                continue
+            features = meta.get("features")
+            if not features or len(features) != own.size:
+                continue
+            distance = float(
+                np.linalg.norm(own - np.asarray(features, dtype=float))
+            )
+            rank = (distance, str(meta.get("name") or ""), digest)
+            if best is None or rank < best[0]:
+                best = (rank, digest)
+        if best is None:
+            return None
+        return self.store.result_payload(best[1])
+
+    def _evaluate_transfer(
+        self, matrix: SparseMatrix, token: Tuple, graph: OperatorGraph
+    ):
+        """Build + run + numerically verify one transplanted design.
+
+        A donor graph is a full candidate (structure + parameters); it may
+        simply not apply to the new matrix — every such failure means
+        falling through to the search tier, never an error."""
+        x = np.random.default_rng(0x5EED).random(matrix.n_cols)
+        reference = matrix.spmv_reference(x)
+        try:
+            program = self.engine.evaluator.build(matrix, graph, token=token)
+            result = program.run(x, self.gpu)
+        except (DesignError, BuildError, PlanValidationError, GraphValidationError):
+            return None
+        if not spmv_allclose(result.y, reference):
+            return None
+        if result.gflops <= 0.0:
+            return None
+        return float(result.gflops), program
+
+    # ------------------------------------------------------------------
+    # Tier 3: bounded fresh search (serial across a batch; each search
+    # parallelises internally over the shared pool)
+    # ------------------------------------------------------------------
+    def _search_seed(self, token: Tuple) -> int:
+        """Content-derived seed — the corpus runner's exact scheme (same
+        truncated digest), so a frontend fallback search and a ``bench
+        --store`` run persist the *same* design for the same matrix and
+        base seed, and request order never changes what a search finds."""
+        return (self.seed + int(token[-1][:16], 16)) % (2**63)
+
+    def _resolve_search(
+        self, matrix: SparseMatrix, token: Tuple
+    ) -> ServeResponse:
+        seed = self._search_seed(token)
+        result = self.engine.search(matrix, seed=seed)
+        if result.best_graph is None:
+            self._count("misses")
+            return ServeResponse(
+                matrix_name=matrix.name,
+                source="miss",
+                gflops=0.0,
+                evaluations=result.total_evaluations,
+            )
+        record = search_result_record(
+            matrix,
+            self.arch,
+            result,
+            seed=seed,
+            include_artifact=self.include_artifacts,
+        )
+        self._record_result(token, record)
+        self._count("searches")
+        return ServeResponse(
+            matrix_name=matrix.name,
+            source="search",
+            gflops=result.best_gflops,
+            graph=result.best_graph,
+            artifact=record["artifact"],
+            evaluations=result.total_evaluations,
+        )

@@ -16,7 +16,7 @@ far longer ones).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List
 
 import numpy as np
 

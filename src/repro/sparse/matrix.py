@@ -10,7 +10,7 @@ average row length, irregularity per §I Problem 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
 import numpy as np

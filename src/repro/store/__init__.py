@@ -1,0 +1,42 @@
+"""Persistent design store (see :mod:`repro.store.design`).
+
+Turns one-time search output into durable, content-addressed artifacts:
+design entries warm-start later searches (zero Designer runs in a fresh
+process), result entries let the serving layer answer without searching.
+"""
+
+from repro.store.codec import (
+    decode_leaves,
+    decode_value,
+    encode_leaves,
+    encode_value,
+    key_digest,
+    payload_digest,
+)
+from repro.store.design import SCHEMA_VERSION, DesignStore, EntryStatus, StoreStats
+from repro.store.errors import StoreError, StoreVersionError
+from repro.store.records import (
+    FEATURE_NAMES,
+    feature_vector,
+    make_result_record,
+    search_result_record,
+)
+
+__all__ = [
+    "DesignStore",
+    "EntryStatus",
+    "StoreStats",
+    "StoreError",
+    "StoreVersionError",
+    "SCHEMA_VERSION",
+    "FEATURE_NAMES",
+    "feature_vector",
+    "make_result_record",
+    "search_result_record",
+    "encode_leaves",
+    "decode_leaves",
+    "encode_value",
+    "decode_value",
+    "key_digest",
+    "payload_digest",
+]

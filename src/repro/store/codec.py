@@ -1,0 +1,173 @@
+"""Exact JSON codec for design-phase artifacts.
+
+The design store persists Designer output — :class:`~repro.core.designer.DesignLeaf`
+lists whose metadata stores hold numpy arrays, nested dicts, tuples and
+scalars — as JSON.  The warm-start contract is *byte identity*: a search
+hydrated from the store must replay the exact history a cold search
+produces, so every value must round-trip losslessly:
+
+* arrays are encoded as base64 of their raw bytes plus dtype + shape
+  (bit-exact, dtype-preserving — never element lists);
+* tuples are tagged so they come back as tuples (``reduction_steps``
+  entries are compared structurally downstream);
+* numpy scalars keep their dtype via the same raw-bytes encoding;
+* plain ints/floats/bools/strings/None pass through (Python's JSON float
+  repr round-trips doubles exactly).
+
+Anything else is a :class:`~repro.store.errors.StoreError` at encode time —
+better to refuse an exotic user-defined metadata entry than to persist a
+lossy approximation of it.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.designer import DesignLeaf
+from repro.core.metadata import MatrixMetadataSet
+from repro.store.errors import StoreError
+
+__all__ = [
+    "decode_array",
+    "decode_leaves",
+    "decode_value",
+    "encode_array",
+    "encode_leaves",
+    "encode_value",
+    "key_digest",
+    "payload_digest",
+]
+
+_ARRAY = "__ndarray__"
+_TUPLE = "__tuple__"
+_SCALAR = "__npscalar__"
+
+
+def encode_array(arr: np.ndarray) -> Dict[str, object]:
+    """Bit-exact JSON form of one array (dtype + shape + raw bytes)."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        _ARRAY: {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+        }
+    }
+
+
+def decode_array(payload: Dict[str, object]) -> np.ndarray:
+    spec = payload[_ARRAY]
+    raw = base64.b64decode(spec["data"])  # type: ignore[index]
+    arr = np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))  # type: ignore[index]
+    arr = arr.reshape(tuple(spec["shape"]))  # type: ignore[index]
+    # frombuffer views are read-only; designer output is writable — hand
+    # back the same kind of object a cold design phase would have produced.
+    return arr.copy()
+
+
+def encode_value(value: object) -> object:
+    """Recursively encode one metadata value into JSON-safe form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.ndarray):
+        return encode_array(value)
+    if isinstance(value, np.generic):
+        return {
+            _SCALAR: {
+                "dtype": value.dtype.str,
+                "data": base64.b64encode(value.tobytes()).decode("ascii"),
+            }
+        }
+    if isinstance(value, tuple):
+        return {_TUPLE: [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise StoreError(
+                    f"cannot persist dict key {key!r} (only string keys)"
+                )
+            if key in (_ARRAY, _TUPLE, _SCALAR):
+                # A plain dict carrying a tag key would decode as the
+                # tagged type — refuse rather than silently corrupt.
+                raise StoreError(
+                    f"cannot persist dict key {key!r} (reserved codec tag)"
+                )
+            out[key] = encode_value(item)
+        return out
+    raise StoreError(f"cannot persist value of type {type(value).__name__}")
+
+
+def decode_value(value: object) -> object:
+    if isinstance(value, dict):
+        if _ARRAY in value:
+            return decode_array(value)  # type: ignore[arg-type]
+        if _TUPLE in value:
+            return tuple(decode_value(v) for v in value[_TUPLE])
+        if _SCALAR in value:
+            spec = value[_SCALAR]
+            raw = base64.b64decode(spec["data"])  # type: ignore[index]
+            return np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))[0]  # type: ignore[index]
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# Design leaves
+# ----------------------------------------------------------------------
+def encode_leaves(leaves: Sequence[DesignLeaf]) -> List[Dict[str, object]]:
+    """JSON form of a design-phase result (one entry per leaf)."""
+    encoded = []
+    for leaf in leaves:
+        meta = {key: encode_value(leaf.meta.get(key)) for key in leaf.meta.keys()}
+        encoded.append(
+            {"branch_path": list(leaf.branch_path), "meta": meta}
+        )
+    return encoded
+
+
+def decode_leaves(payload: Sequence[Dict[str, object]]) -> List[DesignLeaf]:
+    leaves = []
+    for entry in payload:
+        store = {
+            key: decode_value(value)
+            for key, value in entry["meta"].items()  # type: ignore[union-attr]
+        }
+        leaves.append(
+            DesignLeaf(
+                meta=MatrixMetadataSet(store),
+                branch_path=tuple(entry["branch_path"]),  # type: ignore[arg-type]
+            )
+        )
+    return leaves
+
+
+# ----------------------------------------------------------------------
+# Digests
+# ----------------------------------------------------------------------
+def key_digest(*parts: object) -> str:
+    """Content address of a store key: blake2b-128 over the parts' reprs.
+
+    Keys are built from hashable deterministic-repr values (matrix tokens,
+    design signatures, arch names); ``repr`` of those is canonical.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def payload_digest(payload: object) -> str:
+    """Integrity digest of one JSON payload (canonical serialisation)."""
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canon.encode("utf-8"), digest_size=16).hexdigest()

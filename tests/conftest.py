@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.graph import OperatorGraph
 from repro.core.kernel.builder import build_program
-from repro.gpu import A100, RTX2080
+from repro.gpu import A100
 from repro.sparse import (
     SparseMatrix,
     banded_matrix,

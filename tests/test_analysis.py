@@ -1,6 +1,5 @@
 """Analysis metrics and reporting tests."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import (

@@ -9,6 +9,7 @@ from repro.bench import (
     CorpusRunner,
     ResultStore,
     ResultStoreError,
+    StoreVersionError,
     baseline_speedups,
     creativity_counts,
     pfs_speedups,
@@ -80,7 +81,19 @@ class TestResultStore:
         with pytest.raises(ResultStoreError, match="cannot load"):
             ResultStore(path)
         path.write_text('{"schema": 99, "matrices": {}}')
-        with pytest.raises(ResultStoreError, match="schema"):
+        with pytest.raises(StoreVersionError, match="schema"):
+            ResultStore(path)
+
+    def test_pre_pinning_store_raises_version_error(self, tmp_path):
+        """A store written before run-config pinning (no schema marker)
+        must fail as a clear version error, never a KeyError downstream."""
+        path = tmp_path / "store.json"
+        path.write_text('{"matrices": {"m:abc": {"name": "m"}}}')
+        with pytest.raises(StoreVersionError, match="predates"):
+            ResultStore(path)
+        # the concrete type is ALSO a ResultStoreError, so pre-existing
+        # broad `except ResultStoreError` handlers keep catching it
+        with pytest.raises(ResultStoreError):
             ResultStore(path)
 
     def test_config_mismatch_rejected(self, tmp_path):

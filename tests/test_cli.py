@@ -1,7 +1,6 @@
 """CLI tests (the paper's artifact-usage contract)."""
 
 import json
-import os
 
 import pytest
 
@@ -142,6 +141,85 @@ class TestBench:
     def test_bench_bad_corpus_slice(self):
         with pytest.raises(SystemExit):
             main(["bench", "@corpus:zzz", "--evals", "8"])
+
+
+class TestDesignStoreFlag:
+    def test_search_store_warm_starts_second_run(self, mtx_file, tmp_path,
+                                                 capsys):
+        store = str(tmp_path / "designs")
+        args = ["search", mtx_file, "--evals", "16", "--store", store]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 designs loaded" in first
+        assert main(args) == 0  # fresh engine, same store path
+        second = capsys.readouterr().out
+        assert "0 designer runs" in second
+        assert "/ 0 designed" in second
+
+    def test_bench_store_populates(self, mtx_file, tmp_path, capsys):
+        store = str(tmp_path / "designs")
+        code = main(["bench", mtx_file, "--evals", "12", "--store", store])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "design store:" in out
+        assert "results written" in out
+
+
+class TestServe:
+    def test_serve_search_then_hit(self, mtx_file, tmp_path, capsys):
+        store = str(tmp_path / "designs")
+        args = ["serve", mtx_file, "--store", store, "--evals", "24"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "search" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "store" in second
+        assert "1 exact" in second
+
+    def test_serve_exports_artifact(self, mtx_file, tmp_path, capsys):
+        store = str(tmp_path / "designs")
+        out_dir = tmp_path / "served"
+        code = main([
+            "serve", mtx_file, "--store", store, "--evals", "24",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        assert "artifact exported" in capsys.readouterr().out
+        manifests = list(out_dir.glob("*/manifest.json"))
+        assert len(manifests) == 1
+        manifest = json.loads(manifests[0].read_text())
+        assert manifest["kernels"]
+
+
+class TestStoreCommand:
+    @pytest.fixture
+    def populated(self, mtx_file, tmp_path, capsys):
+        store = str(tmp_path / "designs")
+        main(["search", mtx_file, "--evals", "16", "--store", store])
+        capsys.readouterr()
+        return store
+
+    def test_ls(self, populated, capsys):
+        assert main(["store", "ls", populated]) == 0
+        out = capsys.readouterr().out
+        assert "design" in out and "result" in out and "ok" in out
+
+    def test_verify_clean_and_corrupt(self, populated, tmp_path, capsys):
+        assert main(["store", "verify", populated]) == 0
+        capsys.readouterr()
+        entry = sorted((tmp_path / "designs" / "designs").glob("*.json"))[0]
+        entry.write_text(entry.read_text()[:30])
+        assert main(["store", "verify", populated]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_gc(self, populated, capsys):
+        assert main(["store", "gc", populated]) == 0
+        assert "entries removed" in capsys.readouterr().out
+
+    def test_missing_store_reports_cleanly(self, tmp_path, capsys):
+        assert main(["store", "ls", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().out
 
 
 class TestSearchMultiExport:

@@ -1,6 +1,5 @@
 """Designer tests: graph execution, branching, error wrapping."""
 
-import numpy as np
 import pytest
 
 from repro.core.designer import DesignError, Designer

@@ -1,6 +1,5 @@
 """Format construction tests."""
 
-import numpy as np
 import pytest
 
 from repro.core.designer import Designer

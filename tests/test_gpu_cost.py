@@ -1,6 +1,5 @@
 """Cost-model tests: the roofline behaviours the paper's analysis relies on."""
 
-import dataclasses
 
 import pytest
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.designer import Designer
 from repro.core.graph import OperatorGraph
 from repro.core.kernel.builder import build_program
 from repro.core.kernel.fragments import (

@@ -11,7 +11,6 @@ Three acceptance bars:
   once per candidate.
 """
 
-import os
 
 import numpy as np
 import pytest
@@ -36,7 +35,7 @@ from repro.gpu.executor import (
 )
 from repro.gpu.memory import unique_column_count
 from repro.search import SearchBudget, SearchEngine
-from repro.search.evaluation import StagedEvaluator, matrix_token
+from repro.search.evaluation import StagedEvaluator
 from repro.sparse import SparseMatrix, power_law_matrix
 
 

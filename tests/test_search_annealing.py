@@ -1,6 +1,5 @@
 """Simulated-annealing schedule tests."""
 
-import numpy as np
 import pytest
 
 from repro.search.annealing import AnnealingSchedule

@@ -1,8 +1,6 @@
 """Matrix Market I/O tests."""
 
-import io
 
-import numpy as np
 import pytest
 
 from repro.sparse.io import (
