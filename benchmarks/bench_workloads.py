@@ -1,0 +1,120 @@
+"""Record the per-workload performance trajectory of the search stack.
+
+Runs one standard-budget search per corpus matrix (the canonical
+BENCH_search_speed 3-matrix set) for every registered workload and writes
+per-workload best GFLOPS, search throughput (searches/min) and validity
+accounting to ``BENCH_workloads.json`` at the repo root — so the perf
+trajectory covers SpMM and transpose SpMV from the day the workload layer
+landed.  The spmv row doubles as a cross-check: its histories must be
+byte-identical to a workload-agnostic engine's.
+
+Runnable directly or through pytest (slow-marked)::
+
+    PYTHONPATH=src python benchmarks/bench_workloads.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_workloads.py -m slow
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.gpu import A100
+from repro.search import SearchBudget, SearchEngine
+from repro.workloads import WORKLOADS, get_workload
+
+from bench_search_speed import MATRICES  # the canonical 3-matrix workload
+
+pytestmark = pytest.mark.slow
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_workloads.json")
+
+
+def _search_all(workload_name: str):
+    engine = SearchEngine(
+        A100, budget=SearchBudget(), seed=0, workload=get_workload(workload_name)
+    )
+    t0 = time.perf_counter()
+    with engine:
+        results = engine.search_many(MATRICES)
+    return time.perf_counter() - t0, results
+
+
+def run_benchmark() -> dict:
+    per_workload = {}
+    spmv_results = None
+    for name in sorted(WORKLOADS):
+        wall, results = _search_all(name)
+        if name == "spmv":
+            spmv_results = results
+        valid = sum(
+            sum(1 for r in res.history if r.valid) for res in results
+        )
+        evals = sum(res.total_evaluations for res in results)
+        per_workload[name] = {
+            "best_gflops": {
+                res.matrix_name: round(res.best_gflops, 3) for res in results
+            },
+            "geomean_best_gflops": round(
+                math.exp(
+                    sum(math.log(res.best_gflops) for res in results)
+                    / len(results)
+                ),
+                3,
+            ),
+            "searches_per_min": round(len(MATRICES) / wall * 60.0, 1),
+            "wall_s": round(wall, 3),
+            "valid_eval_fraction": round(valid / max(1, evals), 3),
+            "total_evaluations": evals,
+        }
+        print(
+            f"{name:>8}: {per_workload[name]['searches_per_min']:7.1f} "
+            f"searches/min, geomean best "
+            f"{per_workload[name]['geomean_best_gflops']:8.1f} GFLOPS, "
+            f"{valid}/{evals} valid evals"
+        )
+
+    # Cross-check: the explicit spmv workload reproduces the
+    # workload-agnostic engine bit for bit.
+    engine = SearchEngine(A100, budget=SearchBudget(), seed=0)
+    with engine:
+        plain = engine.search_many(MATRICES)
+    for got, want in zip(spmv_results, plain):
+        assert [r.identity() for r in got.history] == [
+            r.identity() for r in want.history
+        ], f"spmv workload diverged on {want.matrix_name}"
+
+    return {
+        "recorded_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "budget": "SearchBudget() defaults",
+        "matrices": [m.name for m in MATRICES],
+        "workloads": per_workload,
+    }
+
+
+def test_workload_benchmark():
+    record = run_benchmark()
+    for name, row in record["workloads"].items():
+        assert row["total_evaluations"] > 0, name
+        assert all(g > 0 for g in row["best_gflops"].values()), name
+
+
+def main() -> int:
+    record = run_benchmark()
+    with open(OUT_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"workload baseline written to {os.path.abspath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

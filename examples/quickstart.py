@@ -19,6 +19,7 @@ from repro import (
     PerfectFormatSelector,
     SearchBudget,
     SearchEngine,
+    get_workload,
     named_matrix,
     read_matrix_market,
 )
@@ -63,6 +64,20 @@ def main() -> None:
     print(unit.format.describe())
     print("\ngenerated kernel (CUDA-like rendering):")
     print(unit.source)
+
+    # --- the same search, for a different workload ----------------------
+    # The operation being tuned is pluggable: SpMM (dense multi-vector
+    # RHS) and transpose SpMV ship alongside SpMV.  One engine = one
+    # workload; caches and stores are keyed so they never cross.
+    spmm = get_workload("spmm16")
+    with SearchEngine(A100, budget=SearchBudget(max_total_evals=160),
+                      workload=spmm) as spmm_engine:
+        spmm_result = spmm_engine.search(matrix)
+    X = spmm.make_operand(matrix)
+    spmm_out = spmm_result.best_program.run(X, A100, workload=spmm)
+    assert spmm.allclose(spmm_out.y, spmm.reference(matrix, X))
+    print(f"\nbest machine-designed {spmm.display}: "
+          f"{spmm_result.best_gflops:.1f} GFLOPS (verified against A @ X)")
 
     # --- store-backed re-search: the one-time search is reusable --------
     # Persisting designs to a DesignStore means a *new* engine — think a

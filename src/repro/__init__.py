@@ -48,6 +48,7 @@ from repro.baselines import (
 )
 from repro.store import DesignStore
 from repro.serve import Frontend
+from repro.workloads import WORKLOADS, Workload, get_workload
 
 __version__ = "1.0.0"
 
@@ -80,5 +81,8 @@ __all__ = [
     "PFS_MEMBERS",
     "DesignStore",
     "Frontend",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
     "__version__",
 ]

@@ -20,7 +20,9 @@ from repro.core.graph import OperatorGraph
 from repro.core.kernel.builder import KernelBuilder
 from repro.core.kernel.program import GeneratedProgram
 from repro.gpu.arch import GPUSpec
-from repro.sparse.matrix import SparseMatrix, spmv_allclose
+from repro.gpu.executor import PlanValidationError
+from repro.sparse.matrix import SparseMatrix
+from repro.workloads import DEFAULT_WORKLOAD, Workload
 
 __all__ = [
     "BaselineMeasurement",
@@ -93,17 +95,23 @@ class SpmvBaseline(ABC):
         gpu: GPUSpec,
         x: Optional[np.ndarray] = None,
         reference: Optional[np.ndarray] = None,
+        workload: Optional[Workload] = None,
     ) -> BaselineMeasurement:
         """Run the baseline; inapplicable formats report zero GFLOPS.
 
-        ``reference`` is the precomputed ``matrix.spmv_reference(x)`` —
+        ``workload`` selects the operation measured (None = the default
+        SpMV).  ``reference`` is the precomputed workload reference —
         batched callers (:func:`measure_baselines`, the corpus runner) pass
-        it so the reference SpMV runs once per matrix, not once per
-        baseline.  Correctness uses the order-tolerant
-        :func:`~repro.sparse.matrix.spmv_allclose` gate: atomic-reduction
-        baselines (COO, row-grouped CSR) legitimately accumulate in a
-        different order than the reference.
+        it so the reference computation runs once per matrix, not once per
+        baseline.  Correctness uses the workload's order-tolerant
+        ``allclose`` gate: atomic-reduction baselines (COO, row-grouped
+        CSR) legitimately accumulate in a different order than the
+        reference.  A baseline whose reduction chain is semantically
+        invalid for the workload — e.g. a direct-store row kernel asked to
+        scatter into columns under transpose SpMV — reports inapplicable,
+        exactly like a library refusing an unsupported operation.
         """
+        workload = workload or DEFAULT_WORKLOAD
         if not self.applicable(matrix):
             return BaselineMeasurement(
                 baseline=self.name,
@@ -116,12 +124,24 @@ class SpmvBaseline(ABC):
                 note="format not applicable to this sparsity pattern",
             )
         if x is None:
-            x = np.random.default_rng(0x5EED).random(matrix.n_cols)
+            x = workload.make_operand(matrix)
         if reference is None:
-            reference = matrix.spmv_reference(x)
+            reference = workload.reference(matrix, x)
         prog = self.program(matrix)
-        result = prog.run(x, gpu)
-        correct = spmv_allclose(result.y, reference)
+        try:
+            result = prog.run(x, gpu, workload=workload)
+        except PlanValidationError as exc:
+            return BaselineMeasurement(
+                baseline=self.name,
+                matrix=matrix.name,
+                gpu=gpu.name,
+                gflops=0.0,
+                time_s=0.0,
+                correct=False,
+                applicable=False,
+                note=f"kernel invalid for workload {workload.name}: {exc}",
+            )
+        correct = workload.allclose(result.y, reference)
         return BaselineMeasurement(
             baseline=self.name,
             matrix=matrix.name,
@@ -129,7 +149,11 @@ class SpmvBaseline(ABC):
             gflops=result.gflops if correct else 0.0,
             time_s=result.total_time_s,
             correct=correct,
-            note="" if correct else "numeric mismatch against reference SpMV",
+            note=(
+                ""
+                if correct
+                else f"numeric mismatch against reference {workload.display}"
+            ),
         )
 
 
@@ -185,25 +209,29 @@ def measure_baselines(
     x: Optional[np.ndarray] = None,
     reference: Optional[np.ndarray] = None,
     runtime=None,
+    workload: Optional[Workload] = None,
 ) -> Dict[str, BaselineMeasurement]:
-    """Measure several baselines on one matrix, sharing one reference SpMV.
+    """Measure several baselines on one matrix, sharing one reference.
 
     The batched entry point for corpus-scale evaluation: ``x`` and the
-    reference result are computed once and reused by every baseline (the
-    per-matrix caches the corpus runner relies on), and ``runtime`` — a
-    :class:`~repro.search.evaluation.EvaluationRuntime` or anything with
-    its ``map(fn, items)`` shape — optionally spreads the independent
-    measurements over a worker pool.  Results come back keyed by baseline
-    name, in ``names`` order (Python dicts preserve insertion order), for
-    any worker count.
+    reference result are computed once per workload and reused by every
+    baseline (the per-matrix caches the corpus runner relies on), and
+    ``runtime`` — a :class:`~repro.search.evaluation.EvaluationRuntime` or
+    anything with its ``map(fn, items)`` shape — optionally spreads the
+    independent measurements over a worker pool.  Results come back keyed
+    by baseline name, in ``names`` order (Python dicts preserve insertion
+    order), for any worker count.
     """
+    workload = workload or DEFAULT_WORKLOAD
     if x is None:
-        x = np.random.default_rng(0x5EED).random(matrix.n_cols)
+        x = workload.make_operand(matrix)
     if reference is None:
-        reference = matrix.spmv_reference(x)
+        reference = workload.reference(matrix, x)
 
     def run(name: str) -> BaselineMeasurement:
-        return get_baseline(name).measure(matrix, gpu, x, reference=reference)
+        return get_baseline(name).measure(
+            matrix, gpu, x, reference=reference, workload=workload
+        )
 
     if runtime is None:
         measurements = [run(name) for name in names]

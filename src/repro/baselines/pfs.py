@@ -21,6 +21,7 @@ from repro.baselines.base import (
 )
 from repro.gpu.arch import GPUSpec
 from repro.sparse.matrix import SparseMatrix
+from repro.workloads import DEFAULT_WORKLOAD
 
 __all__ = ["PFS_MEMBERS", "SOTA_FORMATS", "PerfectFormatSelector", "PfsSelection"]
 
@@ -65,13 +66,15 @@ class PerfectFormatSelector:
         matrix: SparseMatrix,
         gpu: GPUSpec,
         x: Optional[np.ndarray] = None,
+        workload=None,
     ) -> PfsSelection:
+        workload = workload or DEFAULT_WORKLOAD
         if x is None:
-            x = np.random.default_rng(0x5EED).random(matrix.n_cols)
-        reference = matrix.spmv_reference(x)
+            x = workload.make_operand(matrix)
+        reference = workload.reference(matrix, x)
         return self.select_from(
             [
-                b.measure(matrix, gpu, x, reference=reference)
+                b.measure(matrix, gpu, x, reference=reference, workload=workload)
                 for b in self.members
             ],
             matrix_name=matrix.name,

@@ -23,6 +23,7 @@ __all__ = [
     "baseline_speedups",
     "pfs_speedups",
     "creativity_counts",
+    "record_workload",
     "render_corpus_report",
 ]
 
@@ -83,15 +84,30 @@ def creativity_counts(records: Sequence[Dict]) -> Dict[str, int]:
     return counts
 
 
+def record_workload(record: Dict) -> str:
+    """Workload a corpus record was measured under (absent key == the
+    default spmv, matching the runner's record convention)."""
+    return record.get("workload", "spmv")
+
+
 def render_corpus_report(
     records: Sequence[Dict], title: str = "Corpus evaluation"
 ) -> str:
     """The corpus summary the ``bench`` command prints: per-baseline
-    geomean speedups, the Fig 10 histogram over PFS, creativity classes."""
+    geomean speedups, the Fig 10 histogram over PFS, creativity classes.
+
+    Records carry their workload; the header and the speedup table name it
+    when any non-default workload is present (spmv-only reports render
+    their exact historical text).
+    """
     if not records:
         raise ValueError("no records to report")
     searched = _searched(records)
     skipped = len(records) - len(searched)
+    workloads = sorted({record_workload(r) for r in records})
+    kernel_label = (
+        "SpMV" if workloads == ["spmv"] else " / ".join(workloads)
+    )
 
     sections: List[str] = []
     per_baseline = baseline_speedups(records)
@@ -112,7 +128,9 @@ def render_corpus_report(
     if skipped:
         header += f" ({skipped} without a valid search winner, excluded)"
     sections.append(render_table(
-        header + "\nGeomean speedup of the machine-designed SpMV per baseline",
+        header
+        + f"\nGeomean speedup of the machine-designed {kernel_label} "
+        "per baseline",
         ["baseline", "usable", "geomean speedup"],
         rows,
     ))

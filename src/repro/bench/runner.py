@@ -22,8 +22,6 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-import numpy as np
-
 from repro.analysis.metrics import classify_creativity
 from repro.baselines import PFS_MEMBERS, PerfectFormatSelector
 from repro.baselines.base import measure_baselines
@@ -35,6 +33,7 @@ from repro.sparse.collection import CorpusEntry
 from repro.sparse.matrix import SparseMatrix
 from repro.store.design import DesignStore
 from repro.store.records import search_result_record
+from repro.workloads import Workload, ensure_engine_workload
 
 __all__ = ["CorpusRunner", "CorpusRunResult", "CorpusRunStats", "DEFAULT_BASELINES"]
 
@@ -90,6 +89,7 @@ class CorpusRunner:
         engine: Optional[SearchEngine] = None,
         progress: Optional[Callable[[str], None]] = None,
         design_store: Optional[DesignStore] = None,
+        workload: Optional[Workload] = None,
     ) -> None:
         self.gpu = gpu
         self.seed = seed
@@ -97,9 +97,17 @@ class CorpusRunner:
         self.baselines = list(baselines) if baselines else list(DEFAULT_BASELINES)
         self.design_store = design_store
         self._owns_engine = engine is None
+        ensure_engine_workload(engine, workload)
         self.engine = engine or SearchEngine(
-            gpu, budget=budget, seed=seed, store=design_store
+            gpu,
+            budget=budget,
+            seed=seed,
+            store=design_store,
+            workload=workload,
         )
+        #: the workload every baseline measurement and search runs under
+        #: (the injected engine's when one is supplied).
+        self.workload = self.engine.workload
         self.progress = progress or (lambda _msg: None)
 
     # ------------------------------------------------------------------
@@ -123,7 +131,7 @@ class CorpusRunner:
         configs produce identical records for the same matrix.
         """
         budget = self.engine.budget
-        return {
+        config = {
             "gpu": self.gpu.name,
             "seed": self.seed,
             "baselines": list(self.baselines),
@@ -142,6 +150,11 @@ class CorpusRunner:
                 "seeding": self.engine.enable_seeding,
             },
         }
+        if not self.workload.is_default:
+            # The default workload pins no key, so pre-workload-layer
+            # result stores stay resumable and spmv configs byte-identical.
+            config["workload"] = self.workload.name
+        return config
 
     @staticmethod
     def record_key(matrix: SparseMatrix) -> str:
@@ -206,11 +219,11 @@ class CorpusRunner:
         self, matrix: SparseMatrix, family: str, seed: int
     ) -> Dict:
         """Everything the corpus tables need for one matrix, as plain JSON."""
-        # Per-matrix caches: one x, one reference SpMV shared by every
-        # baseline measurement (the search keeps its own, computed once
-        # per search inside the engine).
-        x = np.random.default_rng(0x5EED).random(matrix.n_cols)
-        reference = matrix.spmv_reference(x)
+        # Per-matrix caches: one operand, one reference result shared by
+        # every baseline measurement (the search keeps its own, computed
+        # once per search inside the engine).
+        x = self.workload.make_operand(matrix)
+        reference = self.workload.reference(matrix, x)
         measurements = measure_baselines(
             matrix,
             self.gpu,
@@ -218,6 +231,7 @@ class CorpusRunner:
             x=x,
             reference=reference,
             runtime=self.engine.runtime,
+            workload=self.workload,
         )
 
         pfs: Optional[Dict] = None
@@ -237,12 +251,12 @@ class CorpusRunner:
             creativity = classify_creativity(result.best_graph, matrix)
         if self.design_store is not None and result.best_graph is not None:
             self.design_store.put_result(
-                matrix_token(matrix),
+                self.workload.scope_token(matrix_token(matrix)),
                 self.gpu.name,
                 search_result_record(matrix, self.gpu.name, result, seed=seed),
             )
 
-        return {
+        record = {
             "name": matrix.name,
             "family": family,
             "n_rows": matrix.n_rows,
@@ -262,3 +276,8 @@ class CorpusRunner:
             },
             "creativity": creativity,
         }
+        if not self.workload.is_default:
+            # Absent key == spmv: pre-workload-layer records (and spmv
+            # records) keep their exact historical bytes.
+            record["workload"] = self.workload.name
+        return record

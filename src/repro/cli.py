@@ -8,14 +8,17 @@ Commands::
 
     python -m repro search <matrix.mtx | @named> [more matrices ...]
                            [--gpu A100] [--evals N] [--jobs N] [--profile]
+                           [--workload spmv|spmm4|spmm16|spmvt]
                            [--out DIR] [--store DIR] [--no-pruning]
                            [--extensions] [--seed S]
     python -m repro baselines <matrix.mtx | @named> [--gpu A100]
+                              [--workload NAME]
     python -m repro bench <matrix.mtx | @named | @corpus:N> [more ...]
                           [--gpu A100] [--evals N] [--jobs N] [--seed S]
-                          [--resume PATH] [--store DIR]
+                          [--workload NAME] [--resume PATH] [--store DIR]
     python -m repro serve <matrix.mtx | @named> [more ...] --store DIR
-                          [--gpu A100] [--evals N] [--jobs N] [--out DIR]
+                          [--gpu A100] [--evals N] [--jobs N]
+                          [--workload NAME] [--out DIR]
     python -m repro store {ls | gc | verify} DIR
     python -m repro stats <matrix.mtx | @named>
     python -m repro operators
@@ -36,6 +39,12 @@ same matrix — even in a new process — warm-starts with zero Designer
 runs.  ``serve`` answers requests store-first (exact hit → feature
 nearest-neighbour transfer → bounded fresh search) and ``store
 ls/gc/verify`` inspect, prune and integrity-check a store directory.
+
+``--workload`` (search/bench/serve/baselines) selects the operation
+being tuned/measured — ``spmv`` (default), ``spmm4``/``spmm16`` (dense
+multi-vector SpMM) or ``spmvt`` (transpose SpMV).  Store and cache keys
+are workload-scoped, so artifacts of different workloads sharing one
+store directory never cross-serve.
 """
 
 from __future__ import annotations
@@ -44,8 +53,6 @@ import argparse
 import os
 import sys
 from typing import List, Optional
-
-import numpy as np
 
 from repro.analysis import render_search_summary, render_table
 from repro.baselines import PFS_MEMBERS, PerfectFormatSelector, get_baseline
@@ -59,6 +66,7 @@ from repro.serve import Frontend, default_serve_budget
 from repro.sparse import NAMED_MATRICES, corpus, named_matrix, read_matrix_market
 from repro.sparse.matrix import SparseMatrix
 from repro.store import DesignStore, StoreError, search_result_record
+from repro.workloads import WORKLOADS, Workload, get_workload
 
 __all__ = ["main"]
 
@@ -67,6 +75,31 @@ def _load_matrix(spec: str) -> SparseMatrix:
     if spec.startswith("@"):
         return named_matrix(spec[1:])
     return read_matrix_market(spec)
+
+
+def _workload_arg(value: str) -> Workload:
+    """argparse type for ``--workload``: a bad name errors with the list
+    of registered workloads instead of surfacing a KeyError traceback."""
+    try:
+        return get_workload(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _jobs_arg(value: str) -> int:
+    """argparse type for ``--jobs``: rejects non-integers and values < 1
+    with a clean usage error instead of a runtime traceback."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {value!r}"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1, got {jobs}"
+        )
+    return jobs
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -81,6 +114,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         enable_pruning=not args.no_pruning,
         enable_extensions=args.extensions,
         store=store,
+        workload=args.workload,
     )
     try:
         if len(matrices) == 1:
@@ -92,11 +126,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _record_search_result(engine, matrix, result, args) -> None:
     """Persist one finished CLI search to the design store (result entry
-    with the exported artifact inline, so ``serve`` answers it exactly)."""
+    with the exported artifact inline, so ``serve`` answers it exactly),
+    under the engine workload's scoped key."""
     if engine.store is None or result.best_graph is None:
         return
     engine.store.put_result(
-        matrix_token(matrix),
+        engine.workload.scope_token(matrix_token(matrix)),
         engine.gpu.name,
         search_result_record(matrix, engine.gpu.name, result, seed=args.seed),
     )
@@ -127,8 +162,8 @@ def _search_single(engine, matrix, spec, gpu, args) -> int:
               "raise --evals")
         return 1
     _record_search_result(engine, matrix, result, args)
-    print(f"best machine-designed SpMV: {result.best_gflops:.1f} GFLOPS "
-          f"({gpu.name} model)")
+    print(f"best machine-designed {engine.workload.display}: "
+          f"{result.best_gflops:.1f} GFLOPS ({gpu.name} model)")
     print("\nwinning Operator Graph:")
     print(result.best_graph.describe())
     if args.compare_pfs:
@@ -247,6 +282,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         store=store,
         progress=print,
         design_store=design_store,
+        workload=args.workload,
     )
     with runner:
         result = runner.run(matrices)
@@ -278,7 +314,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_serve_budget(jobs=args.jobs), max_total_evals=args.evals
     )
     with Frontend(gpu, store, budget=budget, seed=args.seed,
-                  jobs=args.jobs) as frontend:
+                  jobs=args.jobs, workload=args.workload) as frontend:
         responses = frontend.resolve_batch(matrices)
         stats = frontend.stats()
     rows = []
@@ -363,10 +399,14 @@ def _cmd_store(args: argparse.Namespace) -> int:
 def _cmd_baselines(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args.matrix)
     gpu = gpu_by_name(args.gpu)
-    x = np.random.default_rng(0).random(matrix.n_cols)
+    workload = args.workload
+    x = workload.make_operand(matrix, seed=0)
+    reference = workload.reference(matrix, x)
     rows = []
     for name in PFS_MEMBERS + ["DIA", "TACO", "CSR-Scalar", "CSR-Vector"]:
-        meas = get_baseline(name).measure(matrix, gpu, x)
+        meas = get_baseline(name).measure(
+            matrix, gpu, x, reference=reference, workload=workload
+        )
         rows.append([
             name,
             meas.gflops if meas.applicable else "n/a",
@@ -375,7 +415,8 @@ def _cmd_baselines(args: argparse.Namespace) -> int:
     rows.sort(key=lambda r: r[1] if isinstance(r[1], float) else -1.0,
               reverse=True)
     print(render_table(
-        f"Baselines on {matrix.name or args.matrix} ({gpu.name} model)",
+        f"Baselines on {matrix.name or args.matrix} "
+        f"({gpu.name} model, {workload.display})",
         ["format", "GFLOPS", "correct"],
         rows,
     ))
@@ -447,10 +488,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpu", default="A100")
     p.add_argument("--evals", type=int, default=200,
                    help="max program evaluations")
-    p.add_argument("--jobs", type=int, default=1,
+    p.add_argument("--jobs", type=_jobs_arg, default=1,
                    help="evaluation workers (1 = serial loop; N > 1 gives "
                         "identical results for eval-count budgets like "
                         "--evals, less wall clock)")
+    p.add_argument("--workload", type=_workload_arg,
+                   default=get_workload("spmv"), metavar="NAME",
+                   help="operation to tune for: "
+                        + ", ".join(sorted(WORKLOADS))
+                        + " (default: spmv)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="export artifact directory")
     p.add_argument("--store", default=None, metavar="DIR",
@@ -480,9 +526,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpu", default="A100")
     p.add_argument("--evals", type=int, default=160,
                    help="max search evaluations per matrix")
-    p.add_argument("--jobs", type=int, default=1,
+    p.add_argument("--jobs", type=_jobs_arg, default=1,
                    help="evaluation workers shared by baseline measurement "
                         "and the search (identical results for any value)")
+    p.add_argument("--workload", type=_workload_arg,
+                   default=get_workload("spmv"), metavar="NAME",
+                   help="operation every baseline and search measures: "
+                        + ", ".join(sorted(WORKLOADS))
+                        + " (default: spmv)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--resume", default=None, metavar="PATH",
                    help="persist per-matrix results to PATH (JSON) as they "
@@ -505,9 +556,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpu", default="A100")
     p.add_argument("--evals", type=int, default=96,
                    help="evaluation budget of the bounded fallback search")
-    p.add_argument("--jobs", type=int, default=1,
+    p.add_argument("--jobs", type=_jobs_arg, default=1,
                    help="worker pool shared by batched request resolution "
                         "and fallback searches")
+    p.add_argument("--workload", type=_workload_arg,
+                   default=get_workload("spmv"), metavar="NAME",
+                   help="operation requests are resolved for (store keys "
+                        "and neighbour transfers never cross workloads): "
+                        + ", ".join(sorted(WORKLOADS))
+                        + " (default: spmv)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
                    help="materialise each served artifact under DIR/<name>")
@@ -527,6 +584,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("baselines", help="measure every baseline format")
     p.add_argument("matrix")
     p.add_argument("--gpu", default="A100")
+    p.add_argument("--workload", type=_workload_arg,
+                   default=get_workload("spmv"), metavar="NAME",
+                   help="operation to measure: "
+                        + ", ".join(sorted(WORKLOADS))
+                        + " (default: spmv)")
     p.set_defaults(func=_cmd_baselines)
 
     p = sub.add_parser("stats", help="print a matrix's sparsity statistics")

@@ -37,6 +37,7 @@ from repro.core.optimizer import ModelDrivenCompressor
 from repro.gpu.analysis import DesignAnalysis, LeafAnalysis
 from repro.gpu.executor import ExecutionPlan, ReductionStep
 from repro.sparse.matrix import SparseMatrix
+from repro.workloads import DEFAULT_WORKLOAD, Workload
 
 __all__ = [
     "BuildError",
@@ -166,12 +167,17 @@ class KernelBuilder:
         compressor: Optional[ModelDrivenCompressor] = None,
         designer: Optional[Designer] = None,
         precision: str = "fp32",
+        workload: Optional[Workload] = None,
     ) -> None:
         if precision not in ("fp32", "fp64"):
             raise ValueError("precision must be 'fp32' or 'fp64'")
         self.compressor = compressor
         self.designer = designer or Designer()
         self.precision = precision
+        #: the operation generated sources render for (the *design* phase
+        #: is workload-independent — structure derives from the matrix
+        #: alone — but the rendered inner loop and kernel name are not).
+        self.workload = workload or DEFAULT_WORKLOAD
 
     # ------------------------------------------------------------------
     def build_plan(
@@ -385,13 +391,19 @@ class KernelBuilder:
             )
         plan = self.build_plan(leaf.meta, fmt, label=leaf.label, analysis=analysis)
         if analysis is None:
-            source = generate_source(leaf.meta, fmt, plan)
+            source = generate_source(leaf.meta, fmt, plan, workload=self.workload)
         else:
             # The rendered text depends on the plan only through the launch
-            # geometry — share it across runtime assignments that agree.
+            # geometry (and the workload) — share it across runtime
+            # assignments that agree.
             source = analysis.cached_scalar(
-                ("source", plan.n_blocks, plan.threads_per_block, plan.interleaved),
-                lambda: generate_source(leaf.meta, fmt, plan),
+                self.workload.scope_key(
+                    ("source", plan.n_blocks, plan.threads_per_block,
+                     plan.interleaved)
+                ),
+                lambda: generate_source(
+                    leaf.meta, fmt, plan, workload=self.workload
+                ),
             )
         return KernelUnit(
             label=leaf.label,
@@ -550,14 +562,17 @@ def build_program(
     graph: OperatorGraph,
     compress: bool = True,
     precision: str = "fp32",
+    workload: Optional[Workload] = None,
 ) -> GeneratedProgram:
     """Convenience one-shot: design, generate, optimise.
 
     ``compress=False`` disables Model-Driven Format Compression (ablation);
     ``precision="fp64"`` builds a double-precision kernel (the paper
-    evaluates fp32; fp64 is a library extension).
+    evaluates fp32; fp64 is a library extension); ``workload`` renders the
+    source for a non-default operation (run the program with the same
+    workload).
     """
     compressor = ModelDrivenCompressor() if compress else None
-    return KernelBuilder(compressor=compressor, precision=precision).build(
-        matrix, graph
-    )
+    return KernelBuilder(
+        compressor=compressor, precision=precision, workload=workload
+    ).build(matrix, graph)

@@ -9,13 +9,14 @@ figure), the reduction fragments and the adapters between them.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.format import MachineDesignedFormat
 from repro.core.kernel.fragments import adapter_between, reduction_fragment
 from repro.core.kernel.skeleton import KernelSkeleton, LoopLevel
 from repro.core.metadata import MatrixMetadataSet
 from repro.gpu.executor import ExecutionPlan
+from repro.workloads import DEFAULT_WORKLOAD, Workload
 
 __all__ = ["generate_source"]
 
@@ -55,12 +56,90 @@ def _meta_loads(fmt: MachineDesignedFormat, level: str) -> List[str]:
     return lines
 
 
+def _fragment_substitutions(workload: Workload) -> dict:
+    """Textual rewrites that reorient the shared reduction fragments.
+
+    The fragments keep two conventions regardless of workload:
+    ``partial_result`` is the value being reduced and ``out_row`` the
+    output index of ``y``.  Transpose workloads redirect the gather to
+    the row side (``out_row`` then holds a column id — annotated in the
+    loop body); SpMM rewrites gather and flush to their per-column forms
+    (``j`` is the dense-column index, stated in the prologue).
+    """
+    if workload.is_default:
+        return {}
+    if workload.transpose:
+        return {"x[col_indices[nz]]": "x[row_indices[nz]]"}
+    k = workload.k
+    return {
+        "x[col_indices[nz]]": f"x[col_indices[nz] * {k} + j]",
+        "y[out_row]": f"y[out_row * {k} + j]",
+    }
+
+
+def _inner_loop_body(workload: Workload, index: str) -> List[str]:
+    """The workload's multiply-accumulate statements for one stored
+    element addressed by ``index`` (the slot every loop nest fills).
+
+    Every workload keeps the fragment conventions: ``partial_result``
+    carries the product and ``out_row`` the index ``y`` is flushed at, so
+    the reduction fragments spliced below stay consistent.
+    """
+    if workload.is_default:
+        return [
+            f"float partial_result = val_arr[{index}] * x[col_indices[{index}]];",
+            f"int out_row = row_indices[{index}];",
+        ]
+    if workload.transpose:
+        return [
+            f"float partial_result = val_arr[{index}] * x[row_indices[{index}]];"
+            "  // transpose: gather x along rows",
+            f"int out_row = col_indices[{index}];"
+            "  // transpose: y is indexed by the column",
+        ]
+    k = workload.k
+    return [
+        f"// per dense column j in [0, {k}): the statements below (and the",
+        "// reduction fragments) repeat element-wise for each j",
+        f"float partial_result = val_arr[{index}] * "
+        f"x[col_indices[{index}] * {k} + j];",
+        f"int out_row = row_indices[{index}];"
+        f"  // flushed into y[out_row * {k} + j]",
+    ]
+
+
+def _workload_note(workload: Workload, level: str) -> List[str]:
+    """Comment-only body for mapped loop nests (the multiply-accumulate
+    is implicit in the innermost level's reduction fragments; only the
+    orientation/width needs spelling out for non-default workloads)."""
+    if workload.transpose:
+        return [
+            f"// {workload.display}: each element of this {level.upper()} "
+            "gathers x[row] and",
+            "// scatters into y[col] — out_row in the fragments below is "
+            "a column id",
+        ]
+    return [
+        f"// {workload.display}: each element of this {level.upper()} "
+        f"multiplies into {workload.k}",
+        f"// partials, gathered from x[col * {workload.k} + j] and flushed "
+        f"into y[row * {workload.k} + j]",
+    ]
+
+
 def generate_source(
     meta: MatrixMetadataSet,
     fmt: MachineDesignedFormat,
     plan: ExecutionPlan,
+    workload: Optional[Workload] = None,
 ) -> str:
-    """Render one kernel's CUDA-like source."""
+    """Render one kernel's CUDA-like source.
+
+    ``workload`` parameterises the kernel name, the operand declaration
+    and the inner multiply-accumulate body (None = the default SpMV,
+    rendering the historical text unchanged).
+    """
+    workload = workload or DEFAULT_WORKLOAD
     args = ["const float* __restrict__ val_arr",
             "const int* __restrict__ col_indices",
             "const float* __restrict__ x",
@@ -70,18 +149,21 @@ def generate_source(
             continue
         args.append(f"const int* __restrict__ {arr.name}")
 
+    prologue = [
+        f"// machine-designed by operator graph: "
+        + " -> ".join(meta.applied_operators),
+        f"// launch: {plan.n_blocks} blocks x {plan.threads_per_block} threads"
+        + (", interleaved storage" if plan.interleaved else ""),
+        "extern __shared__ float shmem_partials[];",
+    ]
+    if not workload.is_default:
+        prologue.insert(0, f"// workload: {workload.display}")
     skeleton = KernelSkeleton(
-        kernel_name=f"spmv_{(meta.get('matrix_name') or 'generated')}".replace(
-            "-", "_"
-        ).replace(".", "_"),
+        kernel_name=(
+            f"{workload.name}_{(meta.get('matrix_name') or 'generated')}"
+        ).replace("-", "_").replace(".", "_"),
         args=args,
-        prologue=[
-            f"// machine-designed by operator graph: "
-            + " -> ".join(meta.applied_operators),
-            f"// launch: {plan.n_blocks} blocks x {plan.threads_per_block} threads"
-            + (", interleaved storage" if plan.interleaved else ""),
-            "extern __shared__ float shmem_partials[];",
-        ],
+        prologue=prologue,
     )
 
     mapped_levels = [
@@ -95,10 +177,7 @@ def generate_source(
                     "for (int nz = global_thread(); nz < n_stored; "
                     "nz += total_threads())"
                 ),
-                body=[
-                    "float partial_result = val_arr[nz] * x[col_indices[nz]];",
-                    "int out_row = row_indices[nz];",
-                ],
+                body=_inner_loop_body(workload, "nz"),
             )
         )
     else:
@@ -107,8 +186,18 @@ def generate_source(
             loop = LoopLevel(name=name, header=header)
             loop.get_meta = _meta_loads(fmt, level)
             skeleton.loops.append(loop)
+        if not workload.is_default:
+            # Mapped loop nests carry the multiply-accumulate implicitly
+            # in the innermost level's reduction fragments; document the
+            # workload's orientation there (no new identifiers).
+            skeleton.loops[-1].body = _workload_note(
+                workload, mapped_levels[-1]
+            )
 
-    # Reduction fragments, innermost-out, with adapters between stages.
+    # Reduction fragments, innermost-out, with adapters between stages;
+    # access expressions are reoriented per workload so the rendered
+    # gather/flush sides match the loop body's conventions.
+    substitutions = _fragment_substitutions(workload)
     steps = [s.strategy for s in plan.reduction_steps]
     innermost = skeleton.loops[-1]
     prev_strategy = None
@@ -116,7 +205,7 @@ def generate_source(
         frag: List[str] = []
         if prev_strategy is not None:
             frag.extend(adapter_between(prev_strategy, strategy))
-        frag.extend(reduction_fragment(strategy))
+        frag.extend(reduction_fragment(strategy, substitutions))
         innermost.reduction.extend(frag)
         prev_strategy = strategy
 

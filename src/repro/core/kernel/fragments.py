@@ -10,7 +10,7 @@ can consume it).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "reduction_fragment",
@@ -116,12 +116,25 @@ _ADAPTERS: Dict[Tuple[str, str], List[str]] = {
 }
 
 
-def reduction_fragment(strategy: str) -> List[str]:
-    """Code lines of a reduction strategy's fragment."""
+def reduction_fragment(
+    strategy: str, substitutions: Optional[Dict[str, str]] = None
+) -> List[str]:
+    """Code lines of a reduction strategy's fragment.
+
+    ``substitutions`` textually rewrites access expressions so one
+    fragment source serves every workload orientation — e.g. the
+    transpose-SpMV renderer maps the ``x[col_indices[nz]]`` gather to
+    ``x[row_indices[nz]]`` and SpMM maps gather/flush to their per-column
+    forms (see :func:`repro.core.kernel.codegen.generate_source`).
+    """
     try:
-        return list(_FRAGMENTS[strategy])
+        lines = list(_FRAGMENTS[strategy])
     except KeyError:
         raise KeyError(f"no fragment for strategy {strategy!r}") from None
+    if substitutions:
+        for old, new in substitutions.items():
+            lines = [line.replace(old, new) for line in lines]
+    return lines
 
 
 def adapter_between(producer: str, consumer: str) -> List[str]:

@@ -1,9 +1,11 @@
-"""Generated SpMV programs.
+"""Generated sparse-kernel programs.
 
 A :class:`GeneratedProgram` is AlphaSparse's output artifact: one kernel per
 design leaf (branching graphs produce several, launched back-to-back just
 like HYB's two-kernel schedule), each carrying its machine-designed format,
-its execution plan and its generated source.
+its execution plan and its generated source.  Programs run under any
+registered :class:`~repro.workloads.Workload`; the default (None) is SpMV,
+bit-identical to the historical single-operation behaviour.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from repro.core.format import MachineDesignedFormat
 from repro.gpu.arch import GPUSpec
 from repro.gpu.cost import CostBreakdown
 from repro.gpu.executor import ExecutionPlan, ExecutionResult, execute
+from repro.workloads import DEFAULT_WORKLOAD, Workload
 
 __all__ = ["KernelUnit", "GeneratedProgram", "ProgramResult"]
 
@@ -48,7 +51,7 @@ class ProgramResult:
 
 @dataclass
 class GeneratedProgram:
-    """The machine-designed SpMV program for one input matrix."""
+    """The machine-designed sparse-kernel program for one input matrix."""
 
     matrix_name: str
     n_rows: int
@@ -61,25 +64,41 @@ class GeneratedProgram:
     analysis: Optional[object] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
-    def run(self, x: np.ndarray, gpu: GPUSpec) -> ProgramResult:
+    def run(
+        self,
+        x: np.ndarray,
+        gpu: GPUSpec,
+        workload: Optional[Workload] = None,
+    ) -> ProgramResult:
         """Execute every kernel; kernels launch back-to-back so the program
-        time is the sum of kernel times (the HYB-style schedule)."""
-        y = np.zeros(self.n_rows, dtype=np.float64)
+        time is the sum of kernel times (the HYB-style schedule).
+
+        ``workload`` selects the operation (None = the default SpMV); the
+        result shape and the GFLOPS numerator follow the workload.
+        """
+        wl = workload or DEFAULT_WORKLOAD
+        y = np.zeros(wl.result_shape(self.n_rows, self.n_cols), dtype=np.float64)
         results: List[ExecutionResult] = []
         total = 0.0
         for unit in self.kernels:
-            res = execute(unit.plan, x, gpu)
+            res = execute(unit.plan, x, gpu, workload=workload)
             y += res.y
             total += res.time_s
             results.append(res)
-        gflops = (2.0 * self.useful_nnz) / total / 1e9 if total > 0 else 0.0
+        gflops = wl.flops(self.useful_nnz) / total / 1e9 if total > 0 else 0.0
         return ProgramResult(
             y=y, total_time_s=total, gflops=gflops, kernel_results=results
         )
 
-    def validate(self, x: np.ndarray, reference: np.ndarray, gpu: GPUSpec) -> bool:
-        """Check the program reproduces ``reference = A @ x``."""
-        result = self.run(x, gpu)
+    def validate(
+        self,
+        x: np.ndarray,
+        reference: np.ndarray,
+        gpu: GPUSpec,
+        workload: Optional[Workload] = None,
+    ) -> bool:
+        """Check the program reproduces the workload's reference result."""
+        result = self.run(x, gpu, workload=workload)
         return bool(np.allclose(result.y, reference, rtol=1e-10, atol=1e-12))
 
     # ------------------------------------------------------------------

@@ -253,9 +253,18 @@ class LeafAnalysis:
             self._x_memo = (x, digest)
         return digest
 
-    def functional_y(self, x: np.ndarray, compute: Callable[[], Tuple]) -> Tuple:
-        """``("ok", y)`` or ``("error", message)`` for one input vector."""
+    def functional_y(
+        self, x: np.ndarray, compute: Callable[[], Tuple], scope: str = ""
+    ) -> Tuple:
+        """``("ok", y)`` or ``("error", message)`` for one input operand.
+
+        ``scope`` namespaces the entry (non-default workload token): two
+        workloads may legitimately share the same operand bytes — e.g.
+        SpMV and transpose SpMV on a square matrix — but never a result.
+        """
         key = self.x_digest(x)
+        if scope:
+            key = f"{scope}:{key}"
         with self.lock:
             entry = self._y.get(key)
         if entry is None:

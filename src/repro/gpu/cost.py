@@ -39,7 +39,9 @@ class KernelCostInputs:
     Attributes
     ----------
     useful_flops:
-        ``2 * nnz`` of the original matrix — the numerator of reported GFLOPS.
+        Exact useful flop count of the workload on the original matrix
+        (:meth:`repro.workloads.Workload.flops`) — the numerator of
+        reported GFLOPS.
     stored_elements:
         Stored non-zeros *including padding*; drives wasted compute/bytes.
     format_bytes:
@@ -91,6 +93,11 @@ class KernelCostInputs:
     sync_barriers: int
     #: bytes per matrix value (4 = fp32 as in the paper, 8 = fp64)
     value_bytes: int = 4
+    #: dense right-hand-side columns of the workload (k): each stored
+    #: element performs k FMAs and each partial result is a k-vector, so
+    #: compute, reduction and atomic work scale by this factor (memory
+    #: traffic is already scaled inside the byte totals).
+    rhs_vectors: int = 1
 
 
 @dataclass(frozen=True)
@@ -185,23 +192,28 @@ class CostModel:
         )
         memory_s = effective_bytes / bandwidth
 
-        # Compute: 2 flops per stored element (padding wastes real cycles),
-        # executed in warp lockstep => scale by divergence.  fp64 runs at
-        # the double-precision roof.
+        # Compute: 2 flops per stored element per RHS column (padding
+        # wastes real cycles), executed in warp lockstep => scale by
+        # divergence.  fp64 runs at the double-precision roof.
         peak = gpu.peak_gflops_dp if inputs.value_bytes >= 8 else gpu.peak_gflops_sp
         compute_elems = inputs.stored_elements * divergence
-        compute_s = (2.0 * compute_elems) / (peak * _GIGA * occupancy)
+        compute_s = (
+            2.0 * compute_elems * inputs.rhs_vectors
+        ) / (peak * _GIGA * occupancy)
 
         # Reduction instructions execute concurrently across SMs: the
         # *_gops throughputs are whole-GPU figures, scaled by how many SMs
         # actually hold blocks.  Barriers serialise only within a block, so
         # their latency is paid once per wave, not once per block.
         sm_par = max(1e-3, min(1.0, inputs.n_blocks / gpu.num_sms))
+        # Partial results are k-vectors under a multi-column workload, so
+        # every reduction instruction repeats per RHS column (barrier
+        # counts do not: synchronisation is per step, not per value).
         reduction_s = (
             inputs.shmem_ops / (gpu.shmem_gops * _GIGA)
             + inputs.shuffle_ops / (gpu.shuffle_gops * _GIGA)
             + inputs.serial_red_ops / (gpu.peak_gflops_sp * _GIGA * 0.25)
-        ) / sm_par
+        ) / sm_par * inputs.rhs_vectors
         reduction_s += (
             inputs.sync_barriers * 2.0e-8 / max(1, min(inputs.n_blocks, gpu.num_sms))
         )
@@ -210,7 +222,10 @@ class CostModel:
         if inputs.atomic_ops > 0 and inputs.max_atomics_per_row > 1:
             share = inputs.max_atomics_per_row / inputs.atomic_ops
             contention = 1.0 + gpu.atomic_conflict_penalty * min(1.0, share * 8.0)
-        atomic_s = inputs.atomic_ops * contention / (gpu.atomic_gops * _GIGA)
+        atomic_s = (
+            inputs.atomic_ops * contention * inputs.rhs_vectors
+            / (gpu.atomic_gops * _GIGA)
+        )
 
         core_s = max(memory_s, compute_s) * imbalance
         total_s = gpu.kernel_launch_overhead_s + core_s + reduction_s + atomic_s

@@ -1,19 +1,30 @@
 """Functional executor + statistics extraction for generated kernels.
 
-A generated SpMV kernel is described by an :class:`ExecutionPlan` — the
+A generated kernel is described by an :class:`ExecutionPlan` — the
 neutral contract between the kernel builder (:mod:`repro.core.kernel`) and
 the simulated GPU.  The plan says, for every *stored* element (original
 non-zeros plus padding), which output row it contributes to and which CUDA
 thread processes it, plus the chain of reduction strategies that funnels
 per-thread partial results into the ``y`` vector.
 
+Execution is parameterised on a :class:`~repro.workloads.Workload`: the
+same plan arrays serve ``y = A @ x`` (gather along columns, scatter along
+rows — the default, bit-identical to the stack's historical behaviour),
+``Y = A @ X`` with a dense k-column operand, and transpose SpMV
+``y = A.T @ x`` (gather along rows, scatter along columns — reduction
+chains are re-validated against the *column* partial flow, so
+direct-store row kernels correctly become invalid and atomic designs win,
+as on real hardware).
+
 :func:`execute` does two things:
 
 1. **Functional execution** — computes ``y`` exactly (vectorised NumPy), so
-   every machine-designed kernel is verified against ``A @ x``.
+   every machine-designed kernel is verified against the workload's
+   reference computation.
 2. **Performance projection** — derives :class:`~repro.gpu.cost.KernelCostInputs`
    from the plan (divergence, imbalance, partial-result flow through the
-   reduction levels, atomics) and evaluates the analytic cost model.
+   reduction levels, atomics, workload flop/traffic scaling) and evaluates
+   the analytic cost model.
 
 Statistics are extracted with linear-time primitives: the reduction walk
 sorts the ``(group, row)`` key space at most once and then works on
@@ -44,6 +55,7 @@ from repro.gpu.memory import (
     gather_traffic_bytes,
     unique_column_count,
 )
+from repro.workloads import DEFAULT_WORKLOAD, Workload
 
 __all__ = [
     "ReductionStep",
@@ -89,7 +101,7 @@ class ReductionStep:
 
 @dataclass
 class ExecutionPlan:
-    """Work assignment + reduction chain of one generated SpMV kernel.
+    """Work assignment + reduction chain of one generated kernel.
 
     Arrays are aligned with *stored order* (the machine-designed format's
     element order, padding included).  Padding elements carry
@@ -263,6 +275,8 @@ def _flow_partials(
     plan: ExecutionPlan,
     valid: Optional[np.ndarray] = None,
     start_pairs: Optional[Tuple[np.ndarray, int]] = None,
+    scatter: Optional[np.ndarray] = None,
+    n_out: Optional[int] = None,
 ) -> _PipelineStats:
     """Walk the reduction chain, validating strategies and counting ops.
 
@@ -276,10 +290,31 @@ def _flow_partials(
     the current multiset size (pre-merge partial count).  ``start_pairs``
     optionally supplies the initial sorted machinery — the one O(n log n)
     step — precomputed per design leaf by the analysis cache.
+
+    ``scatter``/``n_out`` override the output-index array and output size
+    (transpose workloads scatter into columns: the same walk then
+    validates the chain against the *column* partial flow, so e.g.
+    GMEM_DIRECT_STORE demands one partial per output column).  Defaults
+    are the row side — the historical SpMV behaviour, unchanged.
     """
     if valid is None:
         valid = plan.out_rows >= 0
-    rows = plan.out_rows[valid]
+    scatter_override = scatter is not None
+    if scatter is None:
+        scatter = plan.out_rows
+    if n_out is None:
+        n_out = plan.n_rows
+    rows = scatter[valid]
+    if scatter_override and rows.size:
+        # The row side is range-checked by ExecutionPlan.__post_init__ and
+        # the valid mask; an overridden scatter side (transpose: columns)
+        # carries no such guarantee, and a stray negative/overflowing
+        # index must surface as an invalid plan, not a bincount crash.
+        lo, hi = int(rows.min()), int(rows.max())
+        if lo < 0 or hi >= n_out:
+            raise PlanValidationError(
+                "valid element with out-of-range column"
+            )
     stats = _PipelineStats()
     if rows.size == 0:
         stats.final_rows = rows
@@ -367,8 +402,8 @@ def _flow_partials(
             stats.final_rows = final_rows
             if step.strategy == "GMEM_ATOM_RED":
                 stats.atomic_ops = cur_size
-            else:  # GMEM_DIRECT_STORE — every row written exactly once
-                counts = np.bincount(final_rows, minlength=plan.n_rows)
+            else:  # GMEM_DIRECT_STORE — every output written exactly once
+                counts = np.bincount(final_rows, minlength=n_out)
                 if counts.max(initial=0) > 1:
                     raise PlanValidationError(
                         "GMEM_DIRECT_STORE requires a single partial per row; "
@@ -383,30 +418,37 @@ def _flow_partials(
 # Cost-input extraction
 # ---------------------------------------------------------------------------
 
-def plan_cost_inputs(plan: ExecutionPlan, gpu: GPUSpec) -> KernelCostInputs:
+def plan_cost_inputs(
+    plan: ExecutionPlan, gpu: GPUSpec, workload: Optional[Workload] = None
+) -> KernelCostInputs:
     """Summarise a plan into the numbers the cost model consumes.
 
     Plans carrying a leaf analysis share one projection per distribution
     digest (see :func:`_cost_projection`); standalone plans compute from
-    scratch.
+    scratch.  ``workload`` selects the operation being modelled (None =
+    the default SpMV).
     """
+    workload = workload or DEFAULT_WORKLOAD
     if plan.analysis is not None and plan.cost_key is not None:
-        entry = _cost_projection(plan, gpu)
+        entry = _cost_projection(plan, gpu, workload)
         if entry[0] == "error":
             raise PlanValidationError(entry[1])
         return entry[1]
-    return _compute_cost_inputs(plan, gpu)
+    return _compute_cost_inputs(plan, gpu, workload)
 
 
-def _cost_projection(plan: ExecutionPlan, gpu: GPUSpec) -> Tuple:
+def _cost_projection(
+    plan: ExecutionPlan, gpu: GPUSpec, workload: Workload
+) -> Tuple:
     """Cached ``("ok", inputs, cost)`` / ``("error", msg)`` for an
-    analysis-backed plan, keyed by the distribution digest + GPU."""
+    analysis-backed plan, keyed by the distribution digest + GPU (+ the
+    workload token for non-default workloads)."""
     analysis = plan.analysis
-    key = plan.cost_key + (gpu.name, plan.value_bytes)
+    key = workload.scope_key(plan.cost_key + (gpu.name, plan.value_bytes))
 
     def compute() -> Tuple:
         try:
-            inputs = _compute_cost_inputs(plan, gpu)
+            inputs = _compute_cost_inputs(plan, gpu, workload)
         except PlanValidationError as exc:
             return ("error", str(exc))
         return ("ok", inputs, CostModel(gpu).evaluate(inputs))
@@ -433,25 +475,41 @@ def _thread_stats(plan: ExecutionPlan) -> Tuple[np.ndarray, float, float]:
     return per_thread, lockstep, active_mean
 
 
-def _compute_cost_inputs(plan: ExecutionPlan, gpu: GPUSpec) -> KernelCostInputs:
+def _compute_cost_inputs(
+    plan: ExecutionPlan, gpu: GPUSpec, workload: Optional[Workload] = None
+) -> KernelCostInputs:
+    workload = workload or DEFAULT_WORKLOAD
+    # Gather/scatter orientation: the default workload gathers x along
+    # column indices and scatters partials into rows; a transpose workload
+    # swaps the two sides.  Cache names are scoped by the workload token
+    # (identity for the default) so orientations never share entries.
+    if workload.transpose:
+        scatter_arr, n_out = plan.col_indices, plan.n_cols
+        gather_arr, gather_domain = plan.out_rows, plan.n_rows
+    else:
+        scatter_arr, n_out = plan.out_rows, plan.n_rows
+        gather_arr, gather_domain = plan.col_indices, plan.n_cols
     analysis = plan.analysis
     if analysis is not None:
         valid = analysis.cached_array("valid", lambda: plan.out_rows >= 0)
         unique_cols = analysis.cached_scalar(
-            "unique_cols", lambda: unique_column_count(plan.col_indices)
+            workload.scope_key(("unique_cols",)),
+            lambda: unique_column_count(gather_arr),
         )
         start_pairs = None
         if plan.cost_key is not None:
             rows_valid = analysis.cached_array(
-                "rows_valid", lambda: plan.out_rows[valid]
+                workload.scope_key(("rows_valid",)),
+                lambda: scatter_arr[valid],
             )
             if rows_valid.size:
                 base = analysis.cached_scalar(
-                    "row_base", lambda: int(rows_valid.max()) + 1
+                    workload.scope_key(("row_base",)),
+                    lambda: int(rows_valid.max()) + 1,
                 )
                 digest = plan.cost_key[0]
                 start_pairs = analysis.start_pairs(
-                    (digest,),
+                    workload.scope_key((digest,)),
                     lambda: (
                         _sorted_unique_pairs(
                             plan.thread_of_nz[valid], rows_valid, base
@@ -461,7 +519,7 @@ def _compute_cost_inputs(plan: ExecutionPlan, gpu: GPUSpec) -> KernelCostInputs:
                 )
     else:
         valid = plan.out_rows >= 0
-        unique_cols = unique_column_count(plan.col_indices)
+        unique_cols = unique_column_count(gather_arr)
         start_pairs = None
     stored = plan.stored_elements
     warp = plan.warp_size
@@ -491,25 +549,44 @@ def _compute_cost_inputs(plan: ExecutionPlan, gpu: GPUSpec) -> KernelCostInputs:
     )
     coalescing = coalescing_efficiency(avg_run, plan.interleaved, warp)
 
+    # Each gathered operand element is a k-vector under a multi-column
+    # workload: k contiguous values move per distinct gather index, and
+    # the L2-fit decision must see the true operand footprint (the
+    # default workload keeps the historical fp32 single-vector estimate).
+    operand_bytes = (
+        0.0
+        if workload.is_default
+        else float(gather_domain) * plan.value_bytes * workload.k
+    )
     gather = gather_traffic_bytes(
-        plan.useful_nnz, unique_cols, plan.n_cols, gpu
-    ) * (plan.value_bytes / VALUE_BYTES)
+        plan.useful_nnz, unique_cols, gather_domain, gpu,
+        operand_bytes=operand_bytes,
+    ) * (plan.value_bytes / VALUE_BYTES) * workload.k
 
-    stats = _flow_partials(plan, valid=valid, start_pairs=start_pairs)
+    stats = _flow_partials(
+        plan,
+        valid=valid,
+        start_pairs=start_pairs,
+        # None on the row side: the plan invariant already range-checks
+        # it, so only a transpose (column) scatter needs the walk's
+        # override + validation path.
+        scatter=scatter_arr if workload.transpose else None,
+        n_out=n_out if workload.transpose else None,
+    )
     final_rows = stats.final_rows
     if final_rows is not None and final_rows.size:
         max_atomics = int(
-            np.bincount(final_rows, minlength=plan.n_rows).max(initial=0)
+            np.bincount(final_rows, minlength=n_out).max(initial=0)
         ) if stats.atomic_ops else 0
     else:
         max_atomics = 0
 
     vb = plan.value_bytes
     format_bytes = stored * (vb + INDEX_BYTES) + plan.extra_format_bytes
-    y_bytes = plan.n_rows * vb + stats.atomic_ops * 2 * vb
+    y_bytes = (n_out * vb + stats.atomic_ops * 2 * vb) * workload.k
 
     return KernelCostInputs(
-        useful_flops=2.0 * plan.useful_nnz,
+        useful_flops=workload.flops(plan.useful_nnz),
         stored_elements=stored,
         format_bytes=float(format_bytes),
         gather_bytes=float(gather),
@@ -529,12 +606,18 @@ def _compute_cost_inputs(plan: ExecutionPlan, gpu: GPUSpec) -> KernelCostInputs:
         serial_red_ops=stats.serial_red_ops,
         sync_barriers=stats.sync_barriers,
         value_bytes=plan.value_bytes,
+        rhs_vectors=workload.k,
     )
 
 
-def validate_plan(plan: ExecutionPlan) -> None:
-    """Raise :class:`PlanValidationError` if the reduction chain is invalid."""
-    _flow_partials(plan)
+def validate_plan(plan: ExecutionPlan, workload: Optional[Workload] = None) -> None:
+    """Raise :class:`PlanValidationError` if the reduction chain is invalid
+    for the workload (None = the default SpMV: row-scatter semantics)."""
+    workload = workload or DEFAULT_WORKLOAD
+    if workload.transpose:
+        _flow_partials(plan, scatter=plan.col_indices, n_out=plan.n_cols)
+    else:
+        _flow_partials(plan)
 
 
 # ---------------------------------------------------------------------------
@@ -542,39 +625,84 @@ def validate_plan(plan: ExecutionPlan) -> None:
 # ---------------------------------------------------------------------------
 
 def _functional_y(
-    plan: ExecutionPlan, x: np.ndarray, valid: np.ndarray
+    plan: ExecutionPlan,
+    x: np.ndarray,
+    valid: np.ndarray,
+    workload: Optional[Workload] = None,
 ) -> np.ndarray:
-    """Exact ``y`` via one weighted bincount over the valid elements."""
+    """Exact result via weighted bincounts over the valid elements.
+
+    The default workload is one bincount into rows; SpMM repeats it per
+    dense column; a transpose workload gathers ``x`` along rows and
+    scatters into columns.
+    """
+    workload = workload or DEFAULT_WORKLOAD
     cols = plan.col_indices[valid]
     if cols.size and (cols.min() < 0 or cols.max() >= plan.n_cols):
         raise PlanValidationError("valid element with out-of-range column")
-    products = plan.values[valid] * x[cols]
-    if not products.size:
-        return np.zeros(plan.n_rows, dtype=np.float64)
-    return np.bincount(
-        plan.out_rows[valid], weights=products, minlength=plan.n_rows
-    )
+    if workload.is_default:
+        products = plan.values[valid] * x[cols]
+        if not products.size:
+            return np.zeros(plan.n_rows, dtype=np.float64)
+        return np.bincount(
+            plan.out_rows[valid], weights=products, minlength=plan.n_rows
+        )
+    if workload.transpose:
+        # Valid elements always carry an in-range row (plan invariant), so
+        # the row gather needs no extra check; cols is the scatter side.
+        products = plan.values[valid] * x[plan.out_rows[valid]]
+        out = np.zeros(plan.n_cols, dtype=np.float64)
+        if products.size:
+            out += np.bincount(cols, weights=products, minlength=plan.n_cols)
+        return out
+    # Multi-column (SpMM): one bincount per dense RHS column.
+    out = np.zeros((plan.n_rows, workload.k), dtype=np.float64)
+    if cols.size:
+        rows = plan.out_rows[valid]
+        products = plan.values[valid][:, None] * x[cols, :]
+        for j in range(workload.k):
+            out[:, j] = np.bincount(
+                rows, weights=products[:, j], minlength=plan.n_rows
+            )
+    return out
 
 
-def execute(plan: ExecutionPlan, x: np.ndarray, gpu: GPUSpec) -> ExecutionResult:
+def execute(
+    plan: ExecutionPlan,
+    x: np.ndarray,
+    gpu: GPUSpec,
+    workload: Optional[Workload] = None,
+) -> ExecutionResult:
     """Run the kernel functionally and project its performance.
 
-    Returns the exact ``y`` (verified against padding-safety invariants) and
-    the cost breakdown.  Raises :class:`PlanValidationError` for semantically
-    invalid reduction chains — the same kernels that would compute wrong
-    answers on real hardware.
+    Returns the exact result (verified against padding-safety invariants)
+    and the cost breakdown.  Raises :class:`PlanValidationError` for
+    semantically invalid reduction chains — the same kernels that would
+    compute wrong answers on real hardware.  ``workload`` selects the
+    operation (None = the default SpMV, bit-identical to the historical
+    single-operation executor).
 
     Analysis-backed plans reuse the leaf's cached cost projection and the
-    cached functional ``y`` for this ``x``; the returned ``y`` is then a
+    cached functional result for this ``x``; the returned array is then a
     shared read-only array.
     """
+    workload = workload or DEFAULT_WORKLOAD
     x = np.asarray(x, dtype=np.float64)
-    if x.shape != (plan.n_cols,):
-        raise ValueError(f"x must have shape ({plan.n_cols},)")
+    if workload.is_default:
+        if x.shape != (plan.n_cols,):
+            raise ValueError(f"x must have shape ({plan.n_cols},)")
+    else:
+        expected = workload.operand_shape(plan.n_rows, plan.n_cols)
+        if x.shape != expected:
+            raise ValueError(
+                f"operand for workload {workload.name!r} must have shape "
+                f"{expected}"
+            )
 
     analysis = plan.analysis
     if analysis is not None and plan.cost_key is not None:
-        entry = _cost_projection(plan, gpu)  # validates the reduction chain
+        # validates the reduction chain
+        entry = _cost_projection(plan, gpu, workload)
         if entry[0] == "error":
             raise PlanValidationError(entry[1])
         _, inputs, cost = entry
@@ -582,16 +710,19 @@ def execute(plan: ExecutionPlan, x: np.ndarray, gpu: GPUSpec) -> ExecutionResult
         def compute_y() -> Tuple:
             valid = analysis.cached_array("valid", lambda: plan.out_rows >= 0)
             try:
-                return ("ok", _functional_y(plan, x, valid))
+                return ("ok", _functional_y(plan, x, valid, workload))
             except PlanValidationError as exc:
                 return ("error", str(exc))
 
-        y_entry = analysis.functional_y(x, compute_y)
+        y_entry = analysis.functional_y(
+            x, compute_y, scope="" if workload.is_default else workload.token
+        )
         if y_entry[0] == "error":
             raise PlanValidationError(y_entry[1])
         y = y_entry[1]
     else:
-        inputs = plan_cost_inputs(plan, gpu)  # validates the reduction chain
-        y = _functional_y(plan, x, plan.out_rows >= 0)
+        # validates the reduction chain
+        inputs = plan_cost_inputs(plan, gpu, workload)
+        y = _functional_y(plan, x, plan.out_rows >= 0, workload)
         cost = CostModel(gpu).evaluate(inputs)
     return ExecutionResult(y=y, cost=cost, inputs=inputs)

@@ -76,6 +76,7 @@ def gather_traffic_bytes(
     unique_cols: int,
     n_cols: int,
     gpu: GPUSpec,
+    operand_bytes: float = 0.0,
 ) -> float:
     """Estimated DRAM bytes for the ``x[col_indices]`` gather.
 
@@ -83,10 +84,15 @@ def gather_traffic_bytes(
     in cache when the referenced slice of ``x`` fits in L2; otherwise a
     fraction proportional to the overflow misses again.  A sector-granularity
     factor accounts for scattered first touches.
+
+    ``operand_bytes`` overrides the operand footprint used for the L2-fit
+    decision (0 = the historical fp32 vector assumption) — multi-vector
+    workloads gather ``k`` values per index, so their operand overflows L2
+    ``k`` times sooner than the single-vector estimate.
     """
     if nnz == 0:
         return 0.0
-    x_bytes = n_cols * VALUE_BYTES
+    x_bytes = operand_bytes if operand_bytes > 0 else n_cols * VALUE_BYTES
     # First touches: unique columns, fetched at sector granularity. Columns
     # are scattered, so each first touch moves a partial sector; assume two
     # useful words per sector on average for sparse column sets.

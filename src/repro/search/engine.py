@@ -58,7 +58,8 @@ from repro.search.space import (
     param_slots,
     seed_structures,
 )
-from repro.sparse.matrix import SparseMatrix, spmv_allclose
+from repro.sparse.matrix import SparseMatrix
+from repro.workloads import DEFAULT_WORKLOAD, WORKLOADS, Workload, get_workload
 
 __all__ = ["SearchBudget", "EvalRecord", "SearchResult", "SearchEngine"]
 
@@ -152,14 +153,25 @@ class SearchResult:
     #: search): hits are designs hydrated from disk instead of designed.
     store_hits: int = 0
     store_misses: int = 0
+    #: name of the workload this search tuned for, plus its dense-column
+    #: count (kept directly so results of unregistered custom workloads
+    #: still price themselves).
+    workload: str = "spmv"
+    workload_k: int = 1
 
     @property
     def best_time_s(self) -> float:
         if self.best_gflops <= 0:
             return float("inf")
-        return 0.0 if self.best_program is None else (
-            2.0 * self.best_program.useful_nnz / (self.best_gflops * 1e9)
-        )
+        if self.best_program is None:
+            return 0.0
+        nnz = self.best_program.useful_nnz
+        wl = WORKLOADS.get(self.workload)
+        # Registered workloads own their flop formula; for a custom
+        # unregistered one fall back to the generic FMA count the base
+        # Workload.flops defines, from the recorded column count.
+        flops = wl.flops(nnz) if wl is not None else (2.0 * nnz) * self.workload_k
+        return flops / (self.best_gflops * 1e9)
 
     @property
     def design_cache_hit_rate(self) -> float:
@@ -216,9 +228,16 @@ class SearchEngine:
         enable_analysis_cache: bool = True,
         runtime: Optional[EvaluationRuntime] = None,
         store: Optional[DesignStore] = None,
+        workload: Optional[Workload] = None,
     ) -> None:
         self.gpu = gpu
         self.budget = budget or SearchBudget()
+        #: the operation every candidate is built, run and verified for
+        #: (one engine = one workload; caches/stores are keyed so that
+        #: engines of different workloads sharing a store never cross).
+        self.workload = (
+            get_workload(workload) if workload is not None else DEFAULT_WORKLOAD
+        )
         self.pruning = pruning if pruning is not None else default_rules()
         self.enable_pruning = enable_pruning
         #: template only — cloned per search so the engine stays stateless
@@ -230,7 +249,9 @@ class SearchEngine:
         #: visit the source-format archetypes before random structures
         #: (ablatable design choice; see benchmarks/test_abl_seeding.py)
         self.enable_seeding = enable_seeding
-        self.builder = KernelBuilder(compressor=ModelDrivenCompressor())
+        self.builder = KernelBuilder(
+            compressor=ModelDrivenCompressor(), workload=self.workload
+        )
         #: content-addressed Designer-output cache (None = ablated)
         self.cache: Optional[DesignCache] = (
             DesignCache() if enable_design_cache else None
@@ -314,12 +335,12 @@ class SearchEngine:
         )
         schedule = self.annealing.clone()
 
-        x = np.random.default_rng(0x5EED).random(matrix.n_cols)
-        reference = matrix.spmv_reference(x)
+        x = self.workload.make_operand(matrix)
+        reference = self.workload.reference(matrix, x)
         state = _SearchState(
             start=start,
             budget=self.budget,
-            token=matrix_token(matrix),
+            token=self.workload.scope_token(matrix_token(matrix)),
             x=x,
             reference=reference,
             verify_key=content_digest(x, reference),
@@ -427,6 +448,8 @@ class SearchEngine:
             stage_times=stage_times,
             store_hits=store_delta.design_hits if store_delta else 0,
             store_misses=store_delta.design_misses if store_delta else 0,
+            workload=self.workload.name,
+            workload_k=self.workload.k,
         )
 
     # ------------------------------------------------------------------
@@ -504,20 +527,21 @@ class SearchEngine:
             # "analysis" stage = plan analysis + cost projection +
             # functional execution (program.run), cached or not — with the
             # analysis cache on, hits make this stage collapse.
-            result = program.run(state.x, self.gpu)
+            result = program.run(state.x, self.gpu, workload=self.workload)
             timings.add("analysis", time.perf_counter() - t0)
-            # Order-tolerant gate: atomic-reduction candidates accumulate in
-            # a different order than the reference (see spmv_allclose).
-            # The verdict is a function of the design (not the runtime
-            # scalars), so analysis-backed programs verify once per design.
+            # Order-tolerant gate: atomic-reduction candidates accumulate
+            # in a different order than the reference (see the workload's
+            # allclose).  The verdict is a function of the design (not the
+            # runtime scalars), so analysis-backed programs verify once
+            # per design.
             t0 = time.perf_counter()
             if program.analysis is not None:
                 ok = program.analysis.verdict(
                     state.verify_key,
-                    lambda: spmv_allclose(result.y, state.reference),
+                    lambda: self.workload.allclose(result.y, state.reference),
                 )
             else:
-                ok = spmv_allclose(result.y, state.reference)
+                ok = self.workload.allclose(result.y, state.reference)
             timings.add("verify", time.perf_counter() - t0)
             if not ok:
                 return 0.0, None, "numeric mismatch"

@@ -76,6 +76,10 @@ def matrix_token(matrix: SparseMatrix) -> Tuple:
 
     Hashing the triplets (rather than trusting ``matrix.name``) keeps a
     shared multi-matrix cache safe for anonymous or same-named matrices.
+    Callers tuning a non-default workload scope the token with
+    :meth:`repro.workloads.Workload.scope_token` before keying caches or
+    stores on it, so designs/analyses of different workloads never mix
+    (the default SpMV scope is the identity — historical keys unchanged).
     """
     digest = content_digest(matrix.rows, matrix.cols, matrix.vals)
     return (matrix.name, matrix.n_rows, matrix.n_cols, matrix.nnz, digest)

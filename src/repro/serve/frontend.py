@@ -48,13 +48,14 @@ from repro.gpu.arch import GPUSpec
 from repro.gpu.executor import PlanValidationError
 from repro.search.engine import SearchBudget, SearchEngine
 from repro.search.evaluation import matrix_token
-from repro.sparse.matrix import SparseMatrix, spmv_allclose
+from repro.sparse.matrix import SparseMatrix
 from repro.store.design import DesignStore
 from repro.store.records import (
     feature_vector,
     make_result_record,
     search_result_record,
 )
+from repro.workloads import Workload, ensure_engine_workload
 
 __all__ = ["Frontend", "ServeResponse", "ServeStats", "default_serve_budget"]
 
@@ -142,6 +143,7 @@ class Frontend:
         jobs: int = 1,
         engine: Optional[SearchEngine] = None,
         include_artifacts: bool = True,
+        workload: Optional[Workload] = None,
     ) -> None:
         self.gpu = gpu
         self.store = store
@@ -151,12 +153,19 @@ class Frontend:
         #: when callers only want the measured numbers)
         self.include_artifacts = include_artifacts
         self._owns_engine = engine is None
+        ensure_engine_workload(engine, workload)
         self.engine = engine or SearchEngine(
             gpu,
             budget=budget or default_serve_budget(jobs),
             seed=seed,
             store=store,
+            workload=workload,
         )
+        #: the operation requests are resolved for: store lookups are
+        #: scoped to it and the neighbour tier only considers donors of
+        #: the same workload, so a SpMM request can never be answered
+        #: with a SpMV artifact.
+        self.workload = self.engine.workload
         self._lock = threading.Lock()
         self._stats = ServeStats()
         #: cached neighbour-ranking index (one store scan, reused across
@@ -199,7 +208,16 @@ class Frontend:
         return metas
 
     def _record_result(self, token: Tuple, record: Dict) -> None:
-        self.store.put_result(token, self.arch, record)
+        """Persist one result under the workload-scoped key.
+
+        ``token`` is the *raw* matrix token everywhere in this class;
+        scoping happens only at the store boundary (here and in
+        :meth:`_from_store`), so self-exclusion and seed derivation keep
+        using the plain matrix digest.
+        """
+        self.store.put_result(
+            self.workload.scope_token(token), self.arch, record
+        )
         self.refresh()
 
     def _count(self, tier: str) -> None:
@@ -280,7 +298,9 @@ class Frontend:
     def _from_store(
         self, matrix: SparseMatrix, token: Tuple
     ) -> Optional[ServeResponse]:
-        record = self.store.get_result(token, self.arch)
+        record = self.store.get_result(
+            self.workload.scope_token(token), self.arch
+        )
         if record is None or record.get("graph") is None:
             return None
         return ServeResponse(
@@ -315,6 +335,7 @@ class Frontend:
             program=program if self.include_artifacts else None,
             via="neighbour",
             neighbour_of=donor_name,
+            workload=self.workload.name,
         )
         self._record_result(token, record)
         return ServeResponse(
@@ -341,6 +362,10 @@ class Frontend:
         for digest, meta in self._cached_metas():
             if not meta.get("has_graph"):
                 continue
+            # Donors must share the request's workload (absent == spmv):
+            # a SpMM request never transfers a SpMV design.
+            if meta.get("workload", "spmv") != self.workload.name:
+                continue
             if meta.get("matrix_digest") == token[-1]:
                 continue
             features = meta.get("features")
@@ -364,14 +389,16 @@ class Frontend:
         A donor graph is a full candidate (structure + parameters); it may
         simply not apply to the new matrix — every such failure means
         falling through to the search tier, never an error."""
-        x = np.random.default_rng(0x5EED).random(matrix.n_cols)
-        reference = matrix.spmv_reference(x)
+        x = self.workload.make_operand(matrix)
+        reference = self.workload.reference(matrix, x)
         try:
-            program = self.engine.evaluator.build(matrix, graph, token=token)
-            result = program.run(x, self.gpu)
+            program = self.engine.evaluator.build(
+                matrix, graph, token=self.workload.scope_token(token)
+            )
+            result = program.run(x, self.gpu, workload=self.workload)
         except (DesignError, BuildError, PlanValidationError, GraphValidationError):
             return None
-        if not spmv_allclose(result.y, reference):
+        if not self.workload.allclose(result.y, reference):
             return None
         if result.gflops <= 0.0:
             return None

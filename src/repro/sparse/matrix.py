@@ -203,6 +203,41 @@ class SparseMatrix:
             self._rows, weights=products, minlength=self._n_rows
         ).astype(np.float64)
 
+    def spmm_reference(self, x: np.ndarray) -> np.ndarray:
+        """Reference Y = A @ X for a dense multi-column right-hand side.
+
+        ``x`` has shape ``(n_cols, k)``; the result has shape
+        ``(n_rows, k)``.  Each column is the same weighted-bincount
+        reduction as :meth:`spmv_reference`, so the accumulation order
+        (and therefore the achievable kernel agreement) matches the
+        single-vector reference exactly.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self._n_cols:
+            raise ValueError(f"X must have shape ({self._n_cols}, k)")
+        k = x.shape[1]
+        products = self._vals[:, None] * x[self._cols, :]
+        out = np.zeros((self._n_rows, k), dtype=np.float64)
+        for j in range(k):
+            out[:, j] = np.bincount(
+                self._rows, weights=products[:, j], minlength=self._n_rows
+            )
+        return out
+
+    def spmv_t_reference(self, x: np.ndarray) -> np.ndarray:
+        """Reference y = A.T @ x (transpose SpMV).
+
+        ``x`` has shape ``(n_rows,)``; the result has shape ``(n_cols,)``
+        — the operation gathers along rows and scatters along columns.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self._n_rows,):
+            raise ValueError(f"x must have shape ({self._n_rows},)")
+        products = self._vals * x[self._rows]
+        return np.bincount(
+            self._cols, weights=products, minlength=self._n_cols
+        ).astype(np.float64)
+
     def to_dense(self) -> np.ndarray:
         """Dense ndarray; only sensible for small test matrices."""
         dense = np.zeros(self.shape, dtype=np.float64)
@@ -282,10 +317,13 @@ SPMV_ATOL = 1e-9
 
 
 def spmv_allclose(y: np.ndarray, reference: np.ndarray) -> bool:
-    """Order-tolerant correctness gate for SpMV outputs.
+    """Order-tolerant correctness gate for kernel outputs.
 
     The absolute term scales with the reference magnitude so near-zero rows
-    produced by cancellation do not dominate the comparison.
+    produced by cancellation do not dominate the comparison.  The gate is
+    shape-agnostic: a vector result (SpMV / transpose SpMV) and a matrix
+    result (SpMM) compare under the same tolerance model, so every
+    workload's :meth:`~repro.workloads.Workload.allclose` routes here.
     """
     y = np.asarray(y, dtype=np.float64)
     reference = np.asarray(reference, dtype=np.float64)

@@ -369,7 +369,7 @@ class DesignStore:
 
     @staticmethod
     def _meta_from_record(arch: Optional[str], record: Dict) -> Dict:
-        return {
+        meta = {
             "schema": SCHEMA_VERSION,
             "arch": arch,
             "name": record.get("name"),
@@ -379,6 +379,11 @@ class DesignStore:
             "via": record.get("via", "search"),
             "has_graph": record.get("graph") is not None,
         }
+        if "workload" in record:
+            # Absent == spmv (matching the record convention), so sidecars
+            # of pre-workload-layer stores stay byte-identical.
+            meta["workload"] = record["workload"]
+        return meta
 
     def result_metas(self, arch: Optional[str] = None) -> List[Tuple[str, Dict]]:
         """``(digest, meta)`` per stored result — the cheap scan the

@@ -80,6 +80,7 @@ def search_result_record(
             "seed": seed,
         },
         via="search",
+        workload=getattr(result, "workload", "spmv"),
     )
 
 
@@ -92,13 +93,20 @@ def make_result_record(
     search: Optional[Dict] = None,
     via: str = "search",
     neighbour_of: str = "",
+    workload: str = "spmv",
 ) -> Dict:
-    """One JSON-safe result record (see module docstring for semantics)."""
+    """One JSON-safe result record (see module docstring for semantics).
+
+    ``workload`` names the operation the record's numbers were measured
+    for; the default SpMV is recorded *implicitly* (no key), so spmv
+    records — and every pre-workload-layer store — keep their exact
+    historical bytes, while non-default records are explicit.
+    """
     # Imported here, not at module top: repro.export uses the store codec,
     # so a top-level import would cycle through this package's __init__.
     from repro.export import program_payload
 
-    return {
+    record = {
         "name": matrix.name,
         "arch": arch,
         "n_rows": matrix.n_rows,
@@ -115,3 +123,6 @@ def make_result_record(
             None if program is None else program_payload(program, graph)
         ),
     }
+    if workload and workload != "spmv":
+        record["workload"] = workload
+    return record

@@ -1,0 +1,257 @@
+"""Pluggable workload layer: which sparse operation is being tuned.
+
+The paper demonstrates machine-designed formats+kernels for SpMV, but the
+thesis — search beats fixed-format libraries — is not SpMV-specific.  This
+module makes the *operation being tuned* a first-class object so every
+layer of the stack (executor, cost model, codegen, search, baselines,
+bench, store, serve) is parameterised on it instead of hard-coding
+``y = A @ x``:
+
+:class:`Workload`
+    One sparse operation: the dense operand it consumes (shape +
+    deterministic generation), the reference computation, the
+    tolerance-aware correctness gate, the exact flop count behind every
+    GFLOPS figure, and a content token that scopes cache/store keys so
+    artifacts of different workloads can never cross-serve.
+
+Three concrete instances ship:
+
+* ``spmv`` — ``y = A @ x`` (the paper's operation; the default, and
+  bit-identical to the stack's historical behaviour),
+* ``spmm4`` / ``spmm16`` — ``Y = A @ X`` with a dense ``k``-column
+  right-hand side (k = 4 / 16),
+* ``spmvt`` — transpose SpMV ``y = A.T @ x`` (gathers along rows,
+  scatters along columns — the path that forces atomics on row-major
+  formats, exactly as on real hardware).
+
+Execution semantics are *declarative*: a workload states ``k`` (dense RHS
+columns) and ``transpose`` (swap gather/scatter axes), and the simulated
+GPU interprets a plan accordingly — so a new workload in this family is a
+plugin, not another cross-cutting surgery.
+
+The SpMV instance is the **default workload**: its ``scope_token`` is the
+identity and it contributes no extra cache/store key material, which keeps
+search histories, design-store entries and bench records byte-identical to
+the pre-workload-layer code (asserted in ``tests/test_workloads.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from repro.sparse.matrix import SparseMatrix, spmv_allclose
+
+__all__ = [
+    "Workload",
+    "SpMV",
+    "SpMM",
+    "SpMVT",
+    "WORKLOADS",
+    "DEFAULT_WORKLOAD",
+    "get_workload",
+    "register_workload",
+]
+
+#: Seed of the deterministic dense operand every search/baseline
+#: measurement uses (historically the engine's fixed SpMV ``x`` seed).
+OPERAND_SEED = 0x5EED
+
+#: Name of the workload whose behaviour (and cache/store keys) must stay
+#: bit-identical to the pre-workload-layer stack.
+DEFAULT_WORKLOAD_NAME = "spmv"
+
+
+class Workload(ABC):
+    """One sparse operation the search tunes kernels for.
+
+    Subclasses set the class attributes and implement :meth:`reference`;
+    everything else — operand generation, the correctness gate, flop
+    counts, key scoping — derives from those.
+    """
+
+    #: Registry key (and CLI spelling), e.g. ``"spmm16"``.
+    name: str = ""
+    #: Human label for tables and CLI output, e.g. ``"SpMM (k=16)"``.
+    display: str = ""
+    #: Dense right-hand-side columns (1 = vector operand).
+    k: int = 1
+    #: True when the kernel gathers along *rows* and scatters along
+    #: *columns* (transpose operation).
+    transpose: bool = False
+
+    # ------------------------------------------------------------------
+    # Identity & key scoping
+    # ------------------------------------------------------------------
+    @property
+    def is_default(self) -> bool:
+        """The workload whose keys/behaviour are the historical SpMV."""
+        return self.name == DEFAULT_WORKLOAD_NAME
+
+    @property
+    def token(self) -> str:
+        """Content token mixed into cache/store keys (non-default only)."""
+        return self.name
+
+    def scope_token(self, token: Tuple) -> Tuple:
+        """Matrix token scoped to this workload.
+
+        The default workload returns the token unchanged (byte-identical
+        keys, histories and store entries); any other workload folds its
+        content token into the digest component — the 5-tuple shape every
+        store/cache consumer unpacks is preserved, but a SpMM design can
+        never be served for a SpMV request (or vice versa).
+        """
+        if self.is_default:
+            return token
+        name, n_rows, n_cols, nnz, digest = token
+        scoped = hashlib.blake2b(
+            f"{digest}/{self.token}".encode("utf-8"), digest_size=16
+        ).hexdigest()
+        return (name, n_rows, n_cols, nnz, scoped)
+
+    def scope_key(self, key: Tuple) -> Tuple:
+        """Append the workload token to a cache key (non-default only)."""
+        return key if self.is_default else key + (self.token,)
+
+    # ------------------------------------------------------------------
+    # Operand & result geometry
+    # ------------------------------------------------------------------
+    def operand_shape(self, n_rows: int, n_cols: int) -> Tuple[int, ...]:
+        """Shape of the dense operand for an ``n_rows x n_cols`` matrix."""
+        n_in = n_rows if self.transpose else n_cols
+        return (n_in,) if self.k == 1 else (n_in, self.k)
+
+    def result_shape(self, n_rows: int, n_cols: int) -> Tuple[int, ...]:
+        """Shape of the result for an ``n_rows x n_cols`` matrix."""
+        n_out = n_cols if self.transpose else n_rows
+        return (n_out,) if self.k == 1 else (n_out, self.k)
+
+    def make_operand(
+        self, matrix: SparseMatrix, seed: int = OPERAND_SEED
+    ) -> np.ndarray:
+        """The deterministic dense operand used by searches and baselines
+        (bit-identical to the engine's historical fixed-``x`` scheme for
+        the default workload)."""
+        shape = self.operand_shape(matrix.n_rows, matrix.n_cols)
+        return np.random.default_rng(seed).random(shape)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def reference(self, matrix: SparseMatrix, x: np.ndarray) -> np.ndarray:
+        """Ground-truth result every generated kernel is verified against."""
+
+    def allclose(self, y: np.ndarray, reference: np.ndarray) -> bool:
+        """Order-tolerant correctness gate (see
+        :func:`repro.sparse.matrix.spmv_allclose` for the tolerance
+        rationale; it applies unchanged to matrix-shaped results)."""
+        return spmv_allclose(y, reference)
+
+    def flops(self, nnz: int) -> float:
+        """Exact useful flop count on a matrix with ``nnz`` stored
+        non-zeros — the single source of the numerator behind every
+        reported GFLOPS figure (one fused multiply-add per stored element
+        per dense right-hand-side column)."""
+        return (2.0 * nnz) * self.k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Workload {self.name!r}>"
+
+
+class SpMV(Workload):
+    """``y = A @ x`` — the paper's operation and the default workload."""
+
+    name = "spmv"
+    display = "SpMV"
+
+    def reference(self, matrix: SparseMatrix, x: np.ndarray) -> np.ndarray:
+        return matrix.spmv_reference(x)
+
+
+class SpMM(Workload):
+    """``Y = A @ X`` with a dense ``k``-column right-hand side."""
+
+    def __init__(self, k: int) -> None:
+        if k < 2:
+            raise ValueError("SpMM needs k >= 2 dense columns; use SpMV")
+        self.k = int(k)
+        self.name = f"spmm{k}"
+        self.display = f"SpMM (k={k})"
+
+    def reference(self, matrix: SparseMatrix, x: np.ndarray) -> np.ndarray:
+        return matrix.spmm_reference(x)
+
+
+class SpMVT(Workload):
+    """``y = A.T @ x`` — transpose SpMV (row gather, column scatter)."""
+
+    name = "spmvt"
+    display = "transpose SpMV"
+    transpose = True
+
+    def reference(self, matrix: SparseMatrix, x: np.ndarray) -> np.ndarray:
+        return matrix.spmv_t_reference(x)
+
+
+#: name -> workload instance (the CLI's ``--workload`` choices).
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload) -> Workload:
+    """Add a workload to the registry (duplicate names are an error)."""
+    if not workload.name:
+        raise ValueError("workload must define a name")
+    if workload.name in WORKLOADS:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+register_workload(SpMV())
+register_workload(SpMM(4))
+register_workload(SpMM(16))
+register_workload(SpMVT())
+
+#: The workload the whole stack defaults to (historical behaviour).
+DEFAULT_WORKLOAD: Workload = WORKLOADS[DEFAULT_WORKLOAD_NAME]
+
+
+def get_workload(name: Union[str, Workload, None]) -> Workload:
+    """Resolve a workload by name (idempotent on instances).
+
+    Unknown names raise a :class:`ValueError` that lists the registered
+    workloads, so a typo at the CLI reads as guidance, not a KeyError.
+    """
+    if name is None:
+        return DEFAULT_WORKLOAD
+    if isinstance(name, Workload):
+        return name
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; registered workloads: "
+            + ", ".join(sorted(WORKLOADS))
+        ) from None
+
+
+def ensure_engine_workload(engine, workload) -> None:
+    """Reject a workload request that conflicts with an injected engine.
+
+    Components that accept both an optional pre-built search engine and
+    an optional workload (the corpus runner, the serving frontend) call
+    this before adopting ``engine.workload``; with no injected engine (or
+    no explicit workload) there is nothing to reconcile.
+    """
+    if engine is None or workload is None:
+        return
+    if get_workload(workload).name != engine.workload.name:
+        raise ValueError(
+            "workload conflicts with the injected engine's workload; "
+            "pass one or the other"
+        )

@@ -388,16 +388,18 @@ class TestSearchIdentity:
         assert sum(result.stage_times.values()) <= result.wall_time_s * 1.5
 
     def test_verification_runs_once_per_design(self, matrix, monkeypatch):
-        import repro.search.engine as engine_mod
+        # The engine verifies through the workload's allclose, which
+        # routes to the shared spmv_allclose gate — count it there.
+        import repro.workloads as workloads_mod
 
         calls = []
-        real = engine_mod.spmv_allclose
+        real = workloads_mod.spmv_allclose
 
         def counting(y, reference):
             calls.append(1)
             return real(y, reference)
 
-        monkeypatch.setattr(engine_mod, "spmv_allclose", counting)
+        monkeypatch.setattr(workloads_mod, "spmv_allclose", counting)
         result = _engine().search(matrix)
         ran = [r for r in result.history if r.error in ("", "numeric mismatch")]
         # one verification per *design*, not per candidate
