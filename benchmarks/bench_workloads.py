@@ -58,7 +58,9 @@ def run_benchmark() -> dict:
             sum(1 for r in res.history if r.valid) for res in results
         )
         evals = sum(res.total_evaluations for res in results)
+        pruned = sum(res.static_pruned for res in results)
         per_workload[name] = {
+            "static_pruned": pruned,
             "best_gflops": {
                 res.matrix_name: round(res.best_gflops, 3) for res in results
             },
@@ -78,7 +80,7 @@ def run_benchmark() -> dict:
             f"{name:>8}: {per_workload[name]['searches_per_min']:7.1f} "
             f"searches/min, geomean best "
             f"{per_workload[name]['geomean_best_gflops']:8.1f} GFLOPS, "
-            f"{valid}/{evals} valid evals"
+            f"{valid}/{evals} valid evals, {pruned} statically pruned"
         )
 
     # Cross-check: the explicit spmv workload reproduces the

@@ -90,6 +90,7 @@ class CorpusRunner:
         progress: Optional[Callable[[str], None]] = None,
         design_store: Optional[DesignStore] = None,
         workload: Optional[Workload] = None,
+        static_pruning: bool = True,
     ) -> None:
         self.gpu = gpu
         self.seed = seed
@@ -104,6 +105,7 @@ class CorpusRunner:
             seed=seed,
             store=design_store,
             workload=workload,
+            enable_static_pruning=static_pruning,
         )
         #: the workload every baseline measurement and search runs under
         #: (the injected engine's when one is supplied).
@@ -150,6 +152,10 @@ class CorpusRunner:
                 "seeding": self.engine.enable_seeding,
             },
         }
+        if self.engine.enable_static_pruning:
+            # Pinned only when on: pruning-off runs resume result stores
+            # written before the static verifier existed.
+            config["engine"]["static_pruning"] = True
         if not self.workload.is_default:
             # The default workload pins no key, so pre-workload-layer
             # result stores stay resumable and spmv configs byte-identical.
@@ -276,6 +282,10 @@ class CorpusRunner:
             },
             "creativity": creativity,
         }
+        if self.engine.enable_static_pruning:
+            # Same absent-key convention as the config: records from
+            # pruning-off runs keep their exact historical bytes.
+            record["search"]["static_pruned"] = result.static_pruned
         if not self.workload.is_default:
             # Absent key == spmv: pre-workload-layer records (and spmv
             # records) keep their exact historical bytes.

@@ -20,6 +20,8 @@ Commands::
                           [--gpu A100] [--evals N] [--jobs N]
                           [--workload NAME] [--out DIR]
     python -m repro store {ls | gc | verify} DIR
+    python -m repro check [--store DIR] [--matrix SPEC] [--workload NAME]
+                          [--samples N] [--seed S]
     python -m repro stats <matrix.mtx | @named>
     python -m repro operators
     python -m repro matrices
@@ -40,7 +42,15 @@ runs.  ``serve`` answers requests store-first (exact hit → feature
 nearest-neighbour transfer → bounded fresh search) and ``store
 ls/gc/verify`` inspect, prune and integrity-check a store directory.
 
-``--workload`` (search/bench/serve/baselines) selects the operation
+``check`` runs the static verifier against the search space: it samples
+candidate designs, compares the chain analysis's verdicts against the
+dynamic validator (any disagreement is a ``CHECK-UNSOUND`` error) and
+lints every kernel the valid designs generate.  With ``--store DIR`` it
+instead audits a persisted design store (entry integrity, decoded
+graphs, embedded kernel sources).  Exit status 1 on any error-severity
+finding, so CI can gate on it.
+
+``--workload`` (search/bench/serve/baselines/check) selects the operation
 being tuned/measured — ``spmv`` (default), ``spmm4``/``spmm16`` (dense
 multi-vector SpMM) or ``spmvt`` (transpose SpMV).  Store and cache keys
 are workload-scoped, so artifacts of different workloads sharing one
@@ -65,6 +75,7 @@ from repro.search.evaluation import matrix_token
 from repro.serve import Frontend, default_serve_budget
 from repro.sparse import NAMED_MATRICES, corpus, named_matrix, read_matrix_market
 from repro.sparse.matrix import SparseMatrix
+from repro.staticcheck import Severity, Verdict, analyze_design, audit_store
 from repro.store import DesignStore, StoreError, search_result_record
 from repro.workloads import WORKLOADS, Workload, get_workload
 
@@ -396,6 +407,157 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_probes(seed: int) -> List[SparseMatrix]:
+    """Small adversarial probe matrices for the differential self-check:
+    random shapes/densities plus the degenerate single-row / single-column
+    cases that stress the chain analysis's coverage reasoning."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    probes: List[SparseMatrix] = []
+    for i in range(4):
+        n_rows = int(rng.integers(1, 12))
+        n_cols = int(rng.integers(1, 12))
+        nnz = int(rng.integers(0, n_rows * n_cols + 1))
+        rows = rng.integers(0, n_rows, nnz)
+        cols = rng.integers(0, n_cols, nnz)
+        vals = np.where(rng.random(nnz) < 0.15, 0.0, rng.standard_normal(nnz))
+        probes.append(
+            SparseMatrix(n_rows, n_cols, rows, cols, vals, name=f"probe{i}")
+        )
+    probes.append(
+        SparseMatrix(1, 5, [0] * 4, [0, 1, 2, 3], [1, 2, 3, 4], name="onerow")
+    )
+    probes.append(
+        SparseMatrix(5, 1, [0, 1, 2, 3], [0] * 4, [1, 2, 3, 4], name="onecol")
+    )
+    return probes
+
+
+def _check_space(args: argparse.Namespace) -> List:
+    """Differential self-check: the chain analysis's verdict on every
+    sampled candidate must agree with the dynamic validator (INVALID ⇒
+    the build/validation refuses it; VALID ⇒ validation passes), and the
+    kernels of dynamically valid designs must lint error-free."""
+    import numpy as np
+
+    from repro.core.kernel.builder import KernelBuilder
+    from repro.core.optimizer import ModelDrivenCompressor
+    from repro.errors import CHECK_UNSOUND
+    from repro.gpu.executor import PlanValidationError, validate_plan
+    from repro.search.space import (
+        StructureSampler,
+        enumerate_param_grid,
+        graph_with_params,
+        seed_structures,
+    )
+    from repro.staticcheck import Diagnostic, lint_kernel, matrix_facts
+
+    workload = args.workload
+    matrices = (
+        [_load_matrix(args.matrix)] if args.matrix else _check_probes(args.seed)
+    )
+    builder = KernelBuilder(compressor=ModelDrivenCompressor(), workload=workload)
+    sampler = StructureSampler(seed=args.seed, workload=workload)
+    proposals = seed_structures() + [
+        sampler.sample() for _ in range(args.samples)
+    ]
+
+    diagnostics: List = []
+    counts = {"checked": 0, "valid": 0, "invalid": 0, "unknown": 0, "linted": 0}
+    for matrix in matrices:
+        facts = matrix_facts(matrix)
+        for proposal in proposals:
+            grid = enumerate_param_grid(
+                proposal.graph, proposal.locks, level="coarse", cap=4,
+                rng=np.random.default_rng(args.seed),
+            )
+            for assignment in grid:
+                graph = graph_with_params(proposal.graph, assignment,
+                                          proposal.locks)
+                report = analyze_design(graph, workload, facts)
+                counts["checked"] += 1
+                counts[report.verdict.value] += 1
+                program = None
+                try:
+                    leaves = builder.design_phase(matrix, graph)
+                    program = builder.assembly_phase(matrix, graph, leaves)
+                    dyn_ok = True
+                    detail = ""
+                    try:
+                        for unit in program.kernels:
+                            validate_plan(unit.plan, workload)
+                    except PlanValidationError as exc:
+                        dyn_ok = False
+                        detail = str(exc)
+                except Exception as exc:
+                    # Build failure: an INVALID verdict is confirmed, a
+                    # VALID one is vacuous (nothing ran to contradict it).
+                    dyn_ok = None
+                    detail = f"{type(exc).__name__}: {exc}"
+                node = f"{matrix.name}:{'/'.join(graph.operator_names())}"
+                if report.verdict is Verdict.INVALID and dyn_ok is True:
+                    diagnostics.append(Diagnostic(
+                        CHECK_UNSOUND, Severity.ERROR,
+                        "chain analysis said INVALID but the design "
+                        "validates dynamically",
+                        node=node,
+                    ))
+                if report.verdict is Verdict.VALID and dyn_ok is False:
+                    diagnostics.append(Diagnostic(
+                        CHECK_UNSOUND, Severity.ERROR,
+                        f"chain analysis said VALID but the dynamic "
+                        f"validator refused the design: {detail}",
+                        node=node,
+                    ))
+                if dyn_ok is True and program is not None:
+                    for unit in program.kernels:
+                        counts["linted"] += 1
+                        for diag in lint_kernel(
+                            unit.source, unit.plan.value_bytes, report=report
+                        ):
+                            if diag.severity is not Severity.ERROR:
+                                continue
+                            diagnostics.append(Diagnostic(
+                                diag.code, diag.severity, diag.message,
+                                node=f"{node}/kernel:{unit.label}"
+                                + (f"/{diag.node}" if diag.node else ""),
+                            ))
+    print(f"checked {counts['checked']} candidate designs on "
+          f"{len(matrices)} matrices ({workload.display}): "
+          f"{counts['valid']} statically valid, {counts['invalid']} "
+          f"refuted, {counts['unknown']} unknown; "
+          f"{counts['linted']} kernels linted")
+    return diagnostics
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Static verifier entry point: store audit or space self-check."""
+    if args.store:
+        try:
+            store = DesignStore(args.store, create=False)
+        except StoreError as exc:
+            print(f"error: {exc}")
+            return 2
+        diagnostics = audit_store(store)
+        print(f"audited design store {args.store}: {len(store)} entries")
+    else:
+        diagnostics = _check_space(args)
+    errors = 0
+    for diag in diagnostics:
+        if diag.severity is Severity.ERROR:
+            errors += 1
+        where = f" [{diag.node}]" if diag.node else ""
+        print(f"{diag.severity.value.upper()} {diag.code}{where}: "
+              f"{diag.message}")
+    if errors:
+        print(f"check failed: {errors} error(s), "
+              f"{len(diagnostics) - errors} warning(s)")
+        return 1
+    print(f"check passed: 0 errors, {len(diagnostics)} warning(s)")
+    return 0
+
+
 def _cmd_baselines(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args.matrix)
     gpu = gpu_by_name(args.gpu)
@@ -580,6 +742,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "every entry (exit 1 on corruption)")
     p.add_argument("path", help="design-store directory")
     p.set_defaults(func=_cmd_store)
+
+    p = sub.add_parser(
+        "check",
+        help="static verifier: differential soundness self-check + kernel "
+             "lint over sampled designs, or (--store) a design-store audit; "
+             "exit 1 on any error-severity finding",
+    )
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="audit this design store instead of the search "
+                        "space (entry integrity, decoded graphs, embedded "
+                        "kernel sources)")
+    p.add_argument("--matrix", default=None, metavar="SPEC",
+                   help="probe matrix (path or @named) for the differential "
+                        "check; default: built-in synthetic probes")
+    p.add_argument("--workload", type=_workload_arg,
+                   default=get_workload("spmv"), metavar="NAME",
+                   help="workload the differential check runs under: "
+                        + ", ".join(sorted(WORKLOADS))
+                        + " (default: spmv)")
+    p.add_argument("--samples", type=int, default=12,
+                   help="sampled structures beyond the seeds (default 12)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("baselines", help="measure every baseline format")
     p.add_argument("matrix")

@@ -20,12 +20,29 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.core.operators import Stage, get_operator
+from repro.errors import (
+    GRAPH_AFTER_GLOBAL,
+    GRAPH_BRANCH_CHILDREN,
+    GRAPH_BRANCH_CONTINUATION,
+    GRAPH_BRANCH_TAIL,
+    GRAPH_EMPTY,
+    GRAPH_NESTING_DEPTH,
+    GRAPH_NO_GLOBAL,
+    GRAPH_STAGE_ORDER,
+    DiagnosableError,
+)
 
 __all__ = ["GraphNode", "OperatorGraph", "GraphValidationError"]
 
 
-class GraphValidationError(ValueError):
-    """Static dependency rule violated (paper §IV-B)."""
+class GraphValidationError(DiagnosableError):
+    """Static dependency rule violated (paper §IV-B).
+
+    Carries a stable ``GRAPH-*`` diagnostic code (``exc.code``);
+    ``str(exc)`` is the bare message, unchanged from before the taxonomy.
+    """
+
+    default_code = "GRAPH-INVALID"
 
 
 @dataclass
@@ -47,7 +64,8 @@ class GraphNode:
         self.params = op.resolve_params(self.params)
         if self.children and not op.branching:
             raise GraphValidationError(
-                f"{self.op_name} is not a branching operator but has children"
+                f"{self.op_name} is not a branching operator but has children",
+                code=GRAPH_BRANCH_CHILDREN,
             )
 
     @property
@@ -135,9 +153,13 @@ class OperatorGraph:
 
     def _validate_sequence(self, nodes: Sequence[GraphNode], depth: int) -> None:
         if depth > 4:
-            raise GraphValidationError("branch nesting too deep")
+            raise GraphValidationError(
+                "branch nesting too deep", code=GRAPH_NESTING_DEPTH
+            )
         if not nodes:
-            raise GraphValidationError("empty operator sequence")
+            raise GraphValidationError(
+                "empty operator sequence", code=GRAPH_EMPTY
+            )
         last_stage = Stage.CONVERTING
         saw_global = False
         for i, node in enumerate(nodes):
@@ -145,12 +167,14 @@ class OperatorGraph:
             if op.stage < last_stage:
                 raise GraphValidationError(
                     f"{op.name} ({op.stage.name.lower()}) cannot follow a "
-                    f"{last_stage.name.lower()} operator"
+                    f"{last_stage.name.lower()} operator",
+                    code=GRAPH_STAGE_ORDER,
                 )
             last_stage = op.stage
             if saw_global:
                 raise GraphValidationError(
-                    f"{op.name} appears after the global reduction"
+                    f"{op.name} appears after the global reduction",
+                    code=GRAPH_AFTER_GLOBAL,
                 )
             if op.branching:
                 rest = list(nodes[i + 1 :])
@@ -158,7 +182,8 @@ class OperatorGraph:
                     if rest:
                         raise GraphValidationError(
                             f"{op.name} with explicit children must be the "
-                            "last node of its sequence"
+                            "last node of its sequence",
+                            code=GRAPH_BRANCH_TAIL,
                         )
                     for child in node.children:
                         self._validate_sequence(child, depth + 1)
@@ -166,7 +191,8 @@ class OperatorGraph:
                 if not rest:
                     raise GraphValidationError(
                         f"{op.name} without children needs a continuation "
-                        "sequence for the sub-matrices"
+                        "sequence for the sub-matrices",
+                        code=GRAPH_BRANCH_CONTINUATION,
                     )
                 self._validate_sequence(rest, depth + 1)
                 return
@@ -175,7 +201,8 @@ class OperatorGraph:
         if not saw_global:
             raise GraphValidationError(
                 "operator sequence must end with a global reduction "
-                "(GMEM_ATOM_RED or GMEM_DIRECT_STORE)"
+                "(GMEM_ATOM_RED or GMEM_DIRECT_STORE)",
+                code=GRAPH_NO_GLOBAL,
             )
 
     # ------------------------------------------------------------------

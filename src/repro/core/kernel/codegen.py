@@ -9,10 +9,15 @@ figure), the reduction fragments and the adapters between them.
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional
 
 from repro.core.format import MachineDesignedFormat
-from repro.core.kernel.fragments import adapter_between, reduction_fragment
+from repro.core.kernel.fragments import (
+    REDUCTION_OUTPUT_SPACE,
+    adapter_between,
+    reduction_fragment,
+)
 from repro.core.kernel.skeleton import KernelSkeleton, LoopLevel
 from repro.core.metadata import MatrixMetadataSet
 from repro.gpu.executor import ExecutionPlan
@@ -69,12 +74,82 @@ def _fragment_substitutions(workload: Workload) -> dict:
     if workload.is_default:
         return {}
     if workload.transpose:
-        return {"x[col_indices[nz]]": "x[row_indices[nz]]"}
+        # ``row_of``-style helpers answer "which output index does this
+        # element flush to" — on the transpose that is the column side.
+        return {
+            "x[col_indices[nz]]": "x[row_indices[nz]]",
+            "row_of(": "col_of(",
+        }
     k = workload.k
     return {
         "x[col_indices[nz]]": f"x[col_indices[nz] * {k} + j]",
         "y[out_row]": f"y[out_row * {k} + j]",
     }
+
+
+def _subst(lines: List[str], substitutions: dict) -> List[str]:
+    for old, new in substitutions.items():
+        lines = [line.replace(old, new) for line in lines]
+    return lines
+
+
+def _nz_window(fmt: MachineDesignedFormat, level: str) -> List[str]:
+    """Bind the innermost mapped level's stored-element window — the
+    ``bmt_nz_begin``/``bmt_nz_end`` range every thread-stage fragment
+    iterates (Model-Driven-Compressed offset arrays are inlined, like
+    the meta loads above)."""
+    name = f"{level}_nz_offsets"
+    arr = next((a for a in fmt.arrays if a.name == name), None)
+    lines = [f"// stored-element window of this {level.upper()}"]
+    if arr is not None and arr.model is not None:
+        lines.append(f"int bmt_nz_begin = {name}_v;")
+        end = arr.model.expression(f"({level}_id + 1)")
+        lines.append(f"int bmt_nz_end = {end};")
+    else:
+        lines.append(f"int bmt_nz_begin = {name}[{level}_id];")
+        lines.append(f"int bmt_nz_end = {name}[{level}_id + 1];")
+    return lines
+
+
+def _gmem_seam(producer: str) -> List[str]:
+    """Bind ``partial_result``/``out_row`` for the global step from
+    wherever the last reduction stage left its result."""
+    if producer == "WARP_SEG_RED":
+        return [
+            "// Adapter: the segment tail's carry is the surviving partial",
+            "float partial_result = carry;",
+            "int out_row = segment_row;",
+        ]
+    if producer == "WARP_BITMAP_RED":
+        return [
+            "// Adapter: the row tail's carry is the surviving partial",
+            "float partial_result = carry;",
+            "int out_row = my_row;",
+        ]
+    if producer == "SHMEM_TOTAL_RED":
+        return [
+            "// Adapter: the block's single surviving partial",
+            "float partial_result = shmem_partials[0];",
+            "int out_row = first_row_of_block;",
+        ]
+    if producer == "SHMEM_OFFSET_RED":
+        return [
+            "// Adapter: flush each merged row result (one per thread)",
+            "int out_row = first_row_of_block + threadIdx.x;",
+            "float partial_result = block_result[out_row];",
+        ]
+    if producer == "THREAD_BITMAP_RED":
+        return [
+            "// Adapter: the tail row's leftover accumulation",
+            "float partial_result = thread_result;",
+            "int out_row = row_of(bmt_nz_end - 1);",
+        ]
+    # TOTAL reductions leave one scope-wide result in thread_result.
+    return [
+        "// Adapter: expose the reduced result to the global step",
+        "float partial_result = thread_result;",
+        "int out_row = row_of(bmt_nz_begin);",
+    ]
 
 
 def _inner_loop_body(workload: Workload, index: str) -> List[str]:
@@ -141,11 +216,12 @@ def generate_source(
     """
     workload = workload or DEFAULT_WORKLOAD
     args = ["const float* __restrict__ val_arr",
+            "const int* __restrict__ row_indices",
             "const int* __restrict__ col_indices",
             "const float* __restrict__ x",
             "float* y"]
     for arr in fmt.arrays:
-        if arr.name in ("values", "col_indices") or arr.model is not None:
+        if arr.name in ("values", "row_indices", "col_indices") or arr.model is not None:
             continue
         args.append(f"const int* __restrict__ {arr.name}")
 
@@ -154,7 +230,6 @@ def generate_source(
         + " -> ".join(meta.applied_operators),
         f"// launch: {plan.n_blocks} blocks x {plan.threads_per_block} threads"
         + (", interleaved storage" if plan.interleaved else ""),
-        "extern __shared__ float shmem_partials[];",
     ]
     if not workload.is_default:
         prologue.insert(0, f"// workload: {workload.display}")
@@ -196,22 +271,85 @@ def generate_source(
 
     # Reduction fragments, innermost-out, with adapters between stages;
     # access expressions are reoriented per workload so the rendered
-    # gather/flush sides match the loop body's conventions.
+    # gather/flush sides match the loop body's conventions.  Seam bindings
+    # declare every identifier a fragment consumes from its upstream
+    # context (the lint in ``repro.staticcheck.lint`` reads them back).
     substitutions = _fragment_substitutions(workload)
     steps = [s.strategy for s in plan.reduction_steps]
     innermost = skeleton.loops[-1]
-    prev_strategy = None
-    for strategy in steps:
-        frag: List[str] = []
-        if prev_strategy is not None:
-            frag.extend(adapter_between(prev_strategy, strategy))
-        frag.extend(reduction_fragment(strategy, substitutions))
+    if mapped_levels and steps and steps[0].startswith("GMEM_"):
+        # No pre-global reduction: every stored element of the scope's
+        # window flushes individually through the global step.
+        frag = _subst(_nz_window(fmt, mapped_levels[-1]), substitutions)
+        frag.append("// per-element flush over the scope's window")
+        frag.append("for (int nz = bmt_nz_begin; nz < bmt_nz_end; ++nz) {")
+        body = _inner_loop_body(workload, "nz") + reduction_fragment(
+            steps[0], substitutions
+        )
+        frag.extend("    " + line for line in _subst(body, substitutions))
+        frag.append("}")
         innermost.reduction.extend(frag)
-        prev_strategy = strategy
+    else:
+        prev_strategy = None
+        for strategy in steps:
+            frag: List[str] = []
+            if prev_strategy is None:
+                if mapped_levels:
+                    frag.extend(
+                        _subst(_nz_window(fmt, mapped_levels[-1]), substitutions)
+                    )
+                    if not strategy.startswith("THREAD_"):
+                        # A warp/block-level first step consumes per-thread
+                        # partials; bind them with the serial accumulation
+                        # the implicit thread stage performs.
+                        frag.extend(
+                            _subst(
+                                [
+                                    "float thread_result = 0.0f;",
+                                    "for (int nz = bmt_nz_begin; nz < bmt_nz_end; ++nz)",
+                                    "    thread_result += val_arr[nz] * x[col_indices[nz]];",
+                                ],
+                                substitutions,
+                            )
+                        )
+                elif strategy.startswith("THREAD_"):
+                    frag.append("// grid-stride: one stored element per iteration")
+                    frag.append("int bmt_nz_begin = nz;")
+                    frag.append("int bmt_nz_end = nz + 1;")
+                elif not strategy.startswith("GMEM_"):
+                    frag.append(
+                        "float thread_result = partial_result;"
+                        "  // one stored element per iteration"
+                    )
+                # A shared-space first consumer still needs its partials
+                # staged out of registers.
+                frag.extend(adapter_between("THREAD_TOTAL_RED", strategy))
+            if prev_strategy is not None:
+                frag.extend(adapter_between(prev_strategy, strategy))
+                if strategy.startswith("GMEM_") and mapped_levels:
+                    frag.extend(
+                        _subst(_gmem_seam(prev_strategy), substitutions)
+                    )
+            frag.extend(reduction_fragment(strategy, substitutions))
+            innermost.reduction.extend(frag)
+            prev_strategy = strategy
 
     if "origin_rows" in fmt:
         innermost.reduction.append(
             "// SORT provenance: out_row = origin_rows[current_row]"
         )
 
-    return skeleton.render()
+    # Shared memory is part of the launch contract only when some fragment
+    # actually stages partials there.
+    if any(
+        "shmem_partials" in line
+        for loop in skeleton.loops
+        for line in loop.get_meta + loop.body + loop.reduction
+    ):
+        skeleton.prologue.append("extern __shared__ float shmem_partials[];")
+
+    text = skeleton.render()
+    if plan.value_bytes == 8:
+        # Double-precision plans render a double pipeline end to end.
+        text = re.sub(r"\bfloat\b", "double", text).replace("0.0f", "0.0")
+    return text

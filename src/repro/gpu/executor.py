@@ -46,6 +46,18 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.errors import (
+    DiagnosableError,
+    PLAN_GATHER_RANGE,
+    PLAN_SCATTER_RANGE,
+    REDUCE_CHAIN_BLOCK_TOTAL,
+    REDUCE_CHAIN_DIRECT_STORE,
+    REDUCE_CHAIN_NO_GLOBAL,
+    REDUCE_CHAIN_ORDER,
+    REDUCE_CHAIN_THREAD_TOTAL,
+    REDUCE_CHAIN_WARP_TOTAL,
+    code_of,
+)
 from repro.gpu.arch import GPUSpec
 from repro.gpu.cost import CostBreakdown, CostModel, KernelCostInputs
 from repro.gpu.memory import (
@@ -79,8 +91,15 @@ LEVEL_STRATEGIES = {
 }
 
 
-class PlanValidationError(ValueError):
-    """A reduction chain is semantically invalid for this work assignment."""
+class PlanValidationError(DiagnosableError):
+    """A reduction chain is semantically invalid for this work assignment.
+
+    Carries a stable diagnostic ``code`` (see :mod:`repro.errors`) shared
+    with the static verifier, so dynamic and static verdicts are
+    comparable; ``str(exc)`` stays the bare message (byte-identity).
+    """
+
+    default_code = "PLAN-INVALID"
 
 
 @dataclass(frozen=True)
@@ -313,7 +332,8 @@ def _flow_partials(
         lo, hi = int(rows.min()), int(rows.max())
         if lo < 0 or hi >= n_out:
             raise PlanValidationError(
-                "valid element with out-of-range column"
+                "valid element with out-of-range column",
+                code=PLAN_SCATTER_RANGE,
             )
     stats = _PipelineStats()
     if rows.size == 0:
@@ -340,7 +360,8 @@ def _flow_partials(
             if step.strategy == "THREAD_TOTAL_RED":
                 if distinct.per_group_max > 1:
                     raise PlanValidationError(
-                        "THREAD_TOTAL_RED requires each thread to cover one row"
+                        "THREAD_TOTAL_RED requires each thread to cover one row",
+                        code=REDUCE_CHAIN_THREAD_TOTAL,
                     )
                 # serial adds happen inside the FMA loop — already counted
                 # in the compute term
@@ -351,7 +372,8 @@ def _flow_partials(
         elif step.level == "warp":
             if granularity > plan.warp_size:
                 raise PlanValidationError(
-                    "warp reduction cannot follow a coarser-grained step"
+                    "warp reduction cannot follow a coarser-grained step",
+                    code=REDUCE_CHAIN_ORDER,
                 )
             cur_key = _regroup(cur_key, base, plan.warp_size // granularity)
             granularity = plan.warp_size
@@ -360,7 +382,8 @@ def _flow_partials(
             if step.strategy == "WARP_TOTAL_RED":
                 if distinct.per_group_max > 1:
                     raise PlanValidationError(
-                        "WARP_TOTAL_RED requires one row per warp"
+                        "WARP_TOTAL_RED requires one row per warp",
+                        code=REDUCE_CHAIN_WARP_TOTAL,
                     )
                 stats.shuffle_ops += n_active_warps * 5
             elif step.strategy == "WARP_SEG_RED":
@@ -372,7 +395,8 @@ def _flow_partials(
         elif step.level == "block":
             if granularity > plan.threads_per_block:
                 raise PlanValidationError(
-                    "block reduction cannot follow a coarser-grained step"
+                    "block reduction cannot follow a coarser-grained step",
+                    code=REDUCE_CHAIN_ORDER,
                 )
             cur_key = _regroup(
                 cur_key, base, plan.threads_per_block // granularity
@@ -383,7 +407,8 @@ def _flow_partials(
             if step.strategy == "SHMEM_TOTAL_RED":
                 if distinct.per_group_max > 1:
                     raise PlanValidationError(
-                        "SHMEM_TOTAL_RED requires one row per thread block"
+                        "SHMEM_TOTAL_RED requires one row per thread block",
+                        code=REDUCE_CHAIN_BLOCK_TOTAL,
                     )
                 stats.shmem_ops += cur_size
                 stats.sync_barriers += n_active_blocks * max(
@@ -407,10 +432,14 @@ def _flow_partials(
                 if counts.max(initial=0) > 1:
                     raise PlanValidationError(
                         "GMEM_DIRECT_STORE requires a single partial per row; "
-                        "use GMEM_ATOM_RED"
+                        "use GMEM_ATOM_RED",
+                        code=REDUCE_CHAIN_DIRECT_STORE,
                     )
     if not reached_global:
-        raise PlanValidationError("reduction chain never reached global memory")
+        raise PlanValidationError(
+            "reduction chain never reached global memory",
+            code=REDUCE_CHAIN_NO_GLOBAL,
+        )
     return stats
 
 
@@ -432,7 +461,9 @@ def plan_cost_inputs(
     if plan.analysis is not None and plan.cost_key is not None:
         entry = _cost_projection(plan, gpu, workload)
         if entry[0] == "error":
-            raise PlanValidationError(entry[1])
+            raise PlanValidationError(
+                entry[1], code=entry[2] if len(entry) > 2 else None
+            )
         return entry[1]
     return _compute_cost_inputs(plan, gpu, workload)
 
@@ -440,7 +471,7 @@ def plan_cost_inputs(
 def _cost_projection(
     plan: ExecutionPlan, gpu: GPUSpec, workload: Workload
 ) -> Tuple:
-    """Cached ``("ok", inputs, cost)`` / ``("error", msg)`` for an
+    """Cached ``("ok", inputs, cost)`` / ``("error", msg, code)`` for an
     analysis-backed plan, keyed by the distribution digest + GPU (+ the
     workload token for non-default workloads)."""
     analysis = plan.analysis
@@ -450,7 +481,7 @@ def _cost_projection(
         try:
             inputs = _compute_cost_inputs(plan, gpu, workload)
         except PlanValidationError as exc:
-            return ("error", str(exc))
+            return ("error", str(exc), code_of(exc))
         return ("ok", inputs, CostModel(gpu).evaluate(inputs))
 
     return analysis.cost_projection(key, compute)
@@ -639,7 +670,10 @@ def _functional_y(
     workload = workload or DEFAULT_WORKLOAD
     cols = plan.col_indices[valid]
     if cols.size and (cols.min() < 0 or cols.max() >= plan.n_cols):
-        raise PlanValidationError("valid element with out-of-range column")
+        raise PlanValidationError(
+            "valid element with out-of-range column",
+            code=PLAN_GATHER_RANGE if not workload.transpose else PLAN_SCATTER_RANGE,
+        )
     if workload.is_default:
         products = plan.values[valid] * x[cols]
         if not products.size:
@@ -704,7 +738,9 @@ def execute(
         # validates the reduction chain
         entry = _cost_projection(plan, gpu, workload)
         if entry[0] == "error":
-            raise PlanValidationError(entry[1])
+            raise PlanValidationError(
+                entry[1], code=entry[2] if len(entry) > 2 else None
+            )
         _, inputs, cost = entry
 
         def compute_y() -> Tuple:
@@ -712,13 +748,15 @@ def execute(
             try:
                 return ("ok", _functional_y(plan, x, valid, workload))
             except PlanValidationError as exc:
-                return ("error", str(exc))
+                return ("error", str(exc), code_of(exc))
 
         y_entry = analysis.functional_y(
             x, compute_y, scope="" if workload.is_default else workload.token
         )
         if y_entry[0] == "error":
-            raise PlanValidationError(y_entry[1])
+            raise PlanValidationError(
+                y_entry[1], code=y_entry[2] if len(y_entry) > 2 else None
+            )
         y = y_entry[1]
     else:
         # validates the reduction chain

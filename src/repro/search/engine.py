@@ -59,6 +59,9 @@ from repro.search.space import (
     seed_structures,
 )
 from repro.sparse.matrix import SparseMatrix
+from repro.staticcheck.diagnostics import Verdict
+from repro.staticcheck.facts import MatrixFacts
+from repro.staticcheck.reduction import analyze_design
 from repro.workloads import DEFAULT_WORKLOAD, WORKLOADS, Workload, get_workload
 
 __all__ = ["SearchBudget", "EvalRecord", "SearchResult", "SearchEngine"]
@@ -158,6 +161,10 @@ class SearchResult:
     #: still price themselves).
     workload: str = "spmv"
     workload_k: int = 1
+    #: candidates the static verifier refuted before any evaluation was
+    #: spent on them (see :mod:`repro.staticcheck`); they consume no
+    #: entry in ``history`` and no slot of ``max_total_evals``.
+    static_pruned: int = 0
 
     @property
     def best_time_s(self) -> float:
@@ -196,6 +203,9 @@ class _SearchState:
     best_gflops: float = 0.0
     best_graph: Optional[OperatorGraph] = None
     best_program: Optional[GeneratedProgram] = None
+    #: matrix facts backing static pre-eval pruning (None = pruning off).
+    facts: Optional[MatrixFacts] = None
+    static_pruned: int = 0
 
     def time_up(self) -> bool:
         return (
@@ -224,6 +234,7 @@ class SearchEngine:
         seed: int = 0,
         enable_extensions: bool = False,
         enable_seeding: bool = True,
+        enable_static_pruning: bool = True,
         enable_design_cache: bool = True,
         enable_analysis_cache: bool = True,
         runtime: Optional[EvaluationRuntime] = None,
@@ -249,6 +260,12 @@ class SearchEngine:
         #: visit the source-format archetypes before random structures
         #: (ablatable design choice; see benchmarks/test_abl_seeding.py)
         self.enable_seeding = enable_seeding
+        #: refute candidates with the static verifier before spending an
+        #: evaluation on them (sound: only designs whose reduction chain
+        #: provably cannot validate are skipped).  Also lets the sampler
+        #: shape its chain menu to the workload.  Off reproduces the
+        #: pre-verifier search histories byte for byte.
+        self.enable_static_pruning = enable_static_pruning
         self.builder = KernelBuilder(
             compressor=ModelDrivenCompressor(), workload=self.workload
         )
@@ -332,6 +349,7 @@ class SearchEngine:
             banned=banned,
             seed=int(rng.integers(2**31)),
             extensions=self.enable_extensions,
+            workload=self.workload if self.enable_static_pruning else None,
         )
         schedule = self.annealing.clone()
 
@@ -344,6 +362,11 @@ class SearchEngine:
             x=x,
             reference=reference,
             verify_key=content_digest(x, reference),
+            facts=(
+                self.evaluator.matrix_facts(matrix)
+                if self.enable_static_pruning
+                else None
+            ),
         )
 
         incumbent_score = 0.0
@@ -450,6 +473,7 @@ class SearchEngine:
             store_misses=store_delta.design_misses if store_delta else 0,
             workload=self.workload.name,
             workload_k=self.workload.k,
+            static_pruned=state.static_pruned,
         )
 
     # ------------------------------------------------------------------
@@ -478,9 +502,27 @@ class SearchEngine:
         fold into the search state in submission order, keeping histories
         byte-identical between serial and pooled execution.  Returns the
         best GFLOPS seen in the batch.
+
+        With static pruning on, assignments whose reduction chain the
+        verifier refutes for this matrix+workload are dropped before the
+        budget truncation — they consume no evaluation slot and leave no
+        history record, only the ``static_pruned`` counter.
         """
+        candidates = list(assignments)
+        if state.facts is not None:
+            kept = []
+            for assignment in candidates:
+                graph = graph_with_params(
+                    proposal.graph, assignment, proposal.locks
+                )
+                report = analyze_design(graph, self.workload, state.facts)
+                if report.verdict is Verdict.INVALID:
+                    state.static_pruned += 1
+                else:
+                    kept.append(assignment)
+            candidates = kept
         room = self.budget.max_total_evals - state.evals
-        batch = list(assignments)[: max(0, room)]
+        batch = candidates[: max(0, room)]
 
         def run(assignment: Dict):
             return self._evaluate(matrix, proposal, assignment, state)

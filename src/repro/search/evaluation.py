@@ -253,6 +253,25 @@ class StagedEvaluator:
         self.store = store
         self.arch = arch
         self.timings = StageTimings()
+        #: memoized static-verifier fact sets, keyed by matrix content
+        #: token — one O(nnz) pass per matrix per evaluator lifetime,
+        #: shared by every search (and every workload; facts are
+        #: workload-independent) this evaluator serves.
+        self._facts: Dict[Tuple, "MatrixFacts"] = {}
+        self._facts_lock = threading.Lock()
+
+    def matrix_facts(self, matrix: SparseMatrix) -> "MatrixFacts":
+        """The matrix's static-analysis facts, computed once per content."""
+        from repro.staticcheck.facts import matrix_facts
+
+        token = matrix_token(matrix)
+        with self._facts_lock:
+            facts = self._facts.get(token)
+        if facts is None:
+            facts = matrix_facts(matrix)
+            with self._facts_lock:
+                self._facts.setdefault(token, facts)
+        return facts
 
     def _design(
         self,

@@ -64,11 +64,19 @@ class StructureSampler:
         banned: Optional[Set[str]] = None,
         seed: int = 0,
         extensions: bool = False,
+        workload=None,
     ) -> None:
         self.banned = set(banned or ())
         self.rng = np.random.default_rng(seed)
         #: include future-work operators (HYB_DECOMP, paper SecVII-H) in the menu
         self.extensions = extensions
+        #: optional workload to shape the reduction-chain menu for.  With a
+        #: transpose workload the sampler skips row-oriented TOTAL steps and
+        #: direct stores (the static verifier proves those can never
+        #: validate — scatter runs along columns).  ``None`` keeps the
+        #: historical draw sequence byte-identical, which is what engines
+        #: pass when static pruning is disabled.
+        self.workload = workload
 
     # -- small helpers ---------------------------------------------------
     def _ok(self, name: str) -> bool:
@@ -164,24 +172,45 @@ class StructureSampler:
     def _reduction_chain(
         self, level_kinds: Dict[str, str], reorder: Optional[str]
     ) -> Tuple[List[str], Dict[Tuple[str, str], object]]:
-        """Choose a reduction chain consistent with the mapping structure."""
+        """Choose a reduction chain consistent with the mapping structure.
+
+        With a transpose workload set, row-oriented TOTAL steps and the
+        direct-store ending are excluded up front instead of generated and
+        rejected: partials scatter along *columns*, so a one-row-per-scope
+        TOTAL reduction (or a row-aligned single-writer claim) can never
+        validate whenever some row touches two columns — exactly the
+        ``REDUCE-CHAIN-*`` verdicts :mod:`repro.staticcheck` proves.
+        """
         chain: List[str] = []
         locks: Dict[Tuple[str, str], object] = {}
-        single_writer = True  # can we end with a direct store?
+        transpose = self.workload is not None and getattr(
+            self.workload, "transpose", False
+        )
+        single_writer = not transpose  # can we end with a direct store?
 
         bmt_kind = level_kinds.get("bmt")
         bmw_kind = level_kinds.get("bmw")
         if bmt_kind:
-            if bmt_kind == "BMT_ROW_BLOCK" and self._ok("THREAD_TOTAL_RED") and self._maybe(0.7):
+            if (
+                not transpose
+                and bmt_kind == "BMT_ROW_BLOCK"
+                and self._ok("THREAD_TOTAL_RED")
+                and self._maybe(0.7)
+            ):
                 chain.append("THREAD_TOTAL_RED")
                 locks[("BMT_ROW_BLOCK", "rows_per_block")] = 1
             elif self._ok("THREAD_BITMAP_RED"):
                 chain.append("THREAD_BITMAP_RED")
-                single_writer = bmt_kind == "BMT_ROW_BLOCK"
+                single_writer = single_writer and bmt_kind == "BMT_ROW_BLOCK"
             if bmt_kind != "BMT_ROW_BLOCK":
                 single_writer = False
         if bmw_kind or (bmt_kind and self._maybe(0.25)):
-            if bmw_kind == "BMW_ROW_BLOCK" and self._ok("WARP_TOTAL_RED") and self._maybe(0.7):
+            if (
+                not transpose
+                and bmw_kind == "BMW_ROW_BLOCK"
+                and self._ok("WARP_TOTAL_RED")
+                and self._maybe(0.7)
+            ):
                 chain.append("WARP_TOTAL_RED")
                 locks[("BMW_ROW_BLOCK", "rows_per_block")] = 1
             else:
@@ -191,7 +220,12 @@ class StructureSampler:
                 if bmw_kind and bmw_kind != "BMW_ROW_BLOCK":
                     single_writer = False
         if "bmtb" in level_kinds and self._maybe(0.45):
-            block_op = self._pick(["SHMEM_OFFSET_RED", "SHMEM_TOTAL_RED"])
+            block_menu = (
+                ["SHMEM_OFFSET_RED"]
+                if transpose
+                else ["SHMEM_OFFSET_RED", "SHMEM_TOTAL_RED"]
+            )
+            block_op = self._pick(block_menu)
             if block_op:
                 chain.append(block_op)
                 if block_op == "SHMEM_OFFSET_RED":

@@ -1,0 +1,101 @@
+"""Typed diagnostics shared by every static-analysis pass.
+
+A :class:`Diagnostic` is one finding: a stable code (the same ``REDUCE-CHAIN-*``
+/ ``GRAPH-*`` codes the dynamic validators attach to their exceptions, see
+:mod:`repro.errors`, plus ``KERNEL-*`` lint codes and ``STORE-*`` audit codes
+that only exist statically), a severity, a human message, and the node or
+location it anchors to.
+
+A :class:`ChainReport` is the result of the reduction-chain abstract
+interpretation: a three-valued :class:`Verdict` plus the per-step diagnostics
+that prove it.  The verdict is *sound* in both directions by contract:
+
+* ``INVALID`` — the design is guaranteed to fail dynamic validation
+  (``validate_plan`` raises, or the Designer/builder rejects it) on the
+  analyzed matrix.  This is the direction pre-eval pruning relies on.
+* ``VALID`` — every kernel that builds passes ``validate_plan``.
+* ``UNKNOWN`` — the analysis cannot prove either; the candidate must be
+  evaluated dynamically.
+
+The differential suite in ``tests/test_staticcheck.py`` enforces the
+contract against the real validators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+__all__ = ["Severity", "Verdict", "Diagnostic", "ChainReport"]
+
+
+class Severity(str, Enum):
+    """How actionable a diagnostic is (CI fails on ``ERROR`` only)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+class Verdict(str, Enum):
+    """Three-valued result of the reduction-chain analysis."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static finding.
+
+    ``node`` names what the finding anchors to: an operator name for chain
+    diagnostics, a source line (``"line 12"``) for lint, a store key for
+    audits; ``None`` when the finding is design-global.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    node: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" [{self.node}]" if self.node else ""
+        return f"{self.severity.value}: {self.code}{where}: {self.message}"
+
+
+@dataclass
+class ChainReport:
+    """Outcome of analyzing one design's reduction chain.
+
+    ``sound=True`` is the class invariant, recorded explicitly so callers
+    (and persisted reports) state which contract the verdict was produced
+    under.
+    """
+
+    verdict: Verdict
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: (operator-name, per-step verdict) for every reduction step analyzed.
+    steps: Tuple[Tuple[str, Verdict], ...] = ()
+    sound: bool = True
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def merge(self, other: "ChainReport") -> "ChainReport":
+        """Combine with a sibling branch: a design is invalid when *any*
+        kernel is, valid only when *all* are."""
+        if Verdict.INVALID in (self.verdict, other.verdict):
+            verdict = Verdict.INVALID
+        elif self.verdict is Verdict.VALID and other.verdict is Verdict.VALID:
+            verdict = Verdict.VALID
+        else:
+            verdict = Verdict.UNKNOWN
+        return ChainReport(
+            verdict=verdict,
+            diagnostics=self.diagnostics + other.diagnostics,
+            steps=self.steps + other.steps,
+            sound=self.sound and other.sound,
+        )

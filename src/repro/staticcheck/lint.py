@@ -1,0 +1,219 @@
+"""Lint over generated CUDA-like kernel source.
+
+:mod:`repro.core.kernel.codegen` renders documentation-grade kernel text;
+this pass reads it back the way a reviewer would.  Because the renderer
+splices pre-defined fragments into a skeleton, the interesting bugs are
+*seams*: a fragment consuming an identifier no upstream fragment bound
+(``thread_result`` with no thread-level producer), a plain ``y[out_row] =``
+store on a chain the reduction analysis proved conflicting, a declaration
+no fragment ever reads.
+
+The lint is purely textual — it never builds or executes anything — and it
+understands the renderer's conventions: pseudo-helper calls
+(``flush_partial``, ``segmented_warp_scan``, ...) and runtime-context
+symbols (``n_bmt``, ``first_row_of_block``, ...) are documented vocabulary,
+not undeclared identifiers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    KERNEL_ACCUM_DTYPE,
+    KERNEL_DEAD_FRAGMENT,
+    KERNEL_OOB_INDEX,
+    KERNEL_SCATTER_NEEDS_ATOMIC,
+    KERNEL_UNDECLARED_IDENT,
+    REDUCE_CHAIN_DIRECT_STORE,
+)
+from repro.staticcheck.diagnostics import ChainReport, Diagnostic, Severity, Verdict
+
+__all__ = ["lint_kernel"]
+
+#: C / CUDA vocabulary that is never an identifier to resolve.
+_KEYWORDS = frozenset(
+    {
+        "if", "else", "for", "while", "break", "continue", "return",
+        "int", "float", "double", "unsigned", "void", "const", "extern",
+        "__global__", "__shared__", "__restrict__",
+    }
+)
+
+#: Real CUDA builtins available to every kernel.
+_CUDA_BUILTINS = frozenset(
+    {
+        "threadIdx", "blockIdx", "blockDim", "gridDim", "warpSize",
+        "atomicAdd", "__syncthreads", "__shfl_down_sync", "__ballot_sync",
+        "min", "max",
+    }
+)
+
+#: Pseudo-helpers the fragments call (paper Fig 6's named sub-operations).
+_HELPERS = frozenset(
+    {
+        "flush_partial", "row_of", "col_of", "row_bitmap_bit", "segmented_warp_scan",
+        "bitmap_warp_reduce", "global_thread", "total_threads", "warp_id",
+        "total_warps",
+    }
+)
+
+#: Runtime-context symbols the renderer leaves symbolic on purpose: launch
+#: extents, per-block row windows, the shared row-offset table, and the
+#: implicit SpMM dense-column index ``j`` (documented in the loop body).
+_CONTEXT = frozenset(
+    {
+        "n_bmtb", "n_bmw", "n_bmt", "n_stored",
+        "first_row_of_block", "last_row_of_block",
+        "shmem_row_offset", "block_result",
+        "row_boundary_mask", "lane_is_segment_tail", "segment_row",
+        "is_row_head", "is_row_tail", "my_row",
+        "current_row", "origin_rows",
+        "j",
+    }
+)
+
+_IDENT = re.compile(r"\b[A-Za-z_]\w*\b")
+_DECL = re.compile(r"\b(?:int|float|double|unsigned)\s+([A-Za-z_]\w*)")
+_SIGNATURE = re.compile(r"__global__\s+void\s+([A-Za-z_]\w*)\s*\(([^)]*)\)")
+_PLUS_ONE_INDEX = re.compile(r"([A-Za-z_]\w*)\[\s*[A-Za-z_]\w*\s*\+\s*1\s*\]")
+_DIRECT_STORE = re.compile(r"\by\[[^\]]*\]\s*=\s*[^=]")
+
+
+def _strip_comments(line: str) -> str:
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def _signature_names(source: str) -> tuple:
+    """(kernel name or None, argument names) from the signature line."""
+    match = _SIGNATURE.search(source)
+    if match is None:
+        return None, []
+    names = []
+    for piece in match.group(2).split(","):
+        idents = _IDENT.findall(piece)
+        if idents:
+            names.append(idents[-1])  # the name trails its qualifiers
+    return match.group(1), names
+
+
+def lint_kernel(
+    source: str,
+    value_bytes: int = 4,
+    report: Optional[ChainReport] = None,
+) -> List[Diagnostic]:
+    """Lint one rendered kernel; returns diagnostics (empty = clean).
+
+    ``value_bytes`` is the plan's value width, so the lint can flag a
+    ``float`` pipeline rendered for a double-precision plan.  ``report``
+    is the design's :func:`~repro.staticcheck.reduction.analyze_design`
+    outcome, letting the lint escalate a plain direct store into
+    ``KERNEL-SCATTER-NEEDS-ATOMIC`` when the chain analysis proved the
+    store conflicting.
+    """
+    diagnostics: List[Diagnostic] = []
+    lines = source.splitlines()
+    code_lines = [_strip_comments(line) for line in lines]
+    code = "\n".join(code_lines)
+
+    kernel_name, argument_list = _signature_names(code)
+    declared = set(argument_list)
+    first_decl_line: Dict[str, int] = {}
+    for lineno, line in enumerate(code_lines, start=1):
+        for name in _DECL.findall(line):
+            declared.add(name)
+            first_decl_line.setdefault(name, lineno)
+
+    known = declared | _KEYWORDS | _CUDA_BUILTINS | _HELPERS | _CONTEXT
+    if kernel_name is not None:
+        known.add(kernel_name)
+    flagged = set()
+    for lineno, line in enumerate(code_lines, start=1):
+        for name in _IDENT.findall(line):
+            if name in known or name in flagged:
+                continue
+            flagged.add(name)
+            diagnostics.append(
+                Diagnostic(
+                    KERNEL_UNDECLARED_IDENT,
+                    Severity.ERROR,
+                    f"identifier {name!r} is used but never declared "
+                    "(unbound fragment seam)",
+                    node=f"line {lineno}",
+                )
+            )
+
+    # Dead declarations: bound once, never read.  Arguments are exempt
+    # (the signature documents the ABI even when a fragment skips an arg).
+    argument_names = set(argument_list)
+    for name, lineno in sorted(first_decl_line.items(), key=lambda kv: kv[1]):
+        if name in argument_names:
+            continue
+        if name.endswith("_v"):
+            # "get meta of BMX" loads document the level's format arrays
+            # whether or not a fragment consumes them.
+            continue
+        uses = len(re.findall(rf"\b{re.escape(name)}\b", code))
+        if uses <= 1:
+            diagnostics.append(
+                Diagnostic(
+                    KERNEL_DEAD_FRAGMENT,
+                    Severity.WARNING,
+                    f"{name!r} is declared but never used",
+                    node=f"line {lineno}",
+                )
+            )
+
+    # arr[i + 1] reads past the chunk unless arr is an offsets table
+    # (offset arrays carry n+1 entries by construction).
+    for lineno, line in enumerate(code_lines, start=1):
+        for array in _PLUS_ONE_INDEX.findall(line):
+            if "offset" in array:
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    KERNEL_OOB_INDEX,
+                    Severity.WARNING,
+                    f"{array}[... + 1] indexes one past the loop bound and "
+                    f"{array} is not an offsets table",
+                    node=f"line {lineno}",
+                )
+            )
+
+    if report is not None and report.verdict is Verdict.INVALID:
+        store_conflict = any(
+            d.code == REDUCE_CHAIN_DIRECT_STORE for d in report.diagnostics
+        )
+        if store_conflict:
+            for lineno, line in enumerate(code_lines, start=1):
+                if "atomicAdd" in line:
+                    continue
+                if _DIRECT_STORE.search(line):
+                    diagnostics.append(
+                        Diagnostic(
+                            KERNEL_SCATTER_NEEDS_ATOMIC,
+                            Severity.ERROR,
+                            "plain store into y on a chain whose direct "
+                            "store was proved conflicting — needs atomicAdd",
+                            node=f"line {lineno}",
+                        )
+                    )
+
+    if value_bytes == 8 and re.search(r"\bfloat\b", code):
+        lineno = next(
+            i
+            for i, line in enumerate(code_lines, start=1)
+            if re.search(r"\bfloat\b", line)
+        )
+        diagnostics.append(
+            Diagnostic(
+                KERNEL_ACCUM_DTYPE,
+                Severity.WARNING,
+                "float arithmetic in a kernel rendered for an 8-byte "
+                "value type (accumulator narrows the result)",
+                node=f"line {lineno}",
+            )
+        )
+    return diagnostics

@@ -1,0 +1,585 @@
+"""Abstract interpretation of reduction chains against matrix facts.
+
+The analyzer walks an :class:`~repro.core.graph.OperatorGraph` and tracks,
+per GPU scope (thread / warp / thread block), a symbolic *coverage*
+descriptor: how many distinct rows a scope instance can touch, whether it
+covers those rows completely, and how many stored elements it can hold.
+Each reduction step is then judged against the matrix facts on the
+workload's scatter axis (rows for SpMV/SpMM, columns for transpose SpMV),
+reproducing the rules :func:`repro.gpu.executor.validate_plan` enforces
+dynamically — but from the graph alone, before any plan is built.
+
+Soundness discipline (checked by the differential suite):
+
+* ``INVALID`` claims only cite *lower-bound* facts (over nonzero
+  triplets, which survive COMPRESS or its absence alike) and only under
+  coverage descriptors whose witness instance provably exists —
+  whole-row scopes, or top-level chunk partitions.
+* ``VALID`` claims only cite *upper-bound* facts (nonzero facts when the
+  graph compresses, stored facts when it does not).
+* Branching downgrades: ROW_DIV / BIN keep rows whole, so per-row
+  witnesses survive into some child kernel; COL_DIV / HYB_DECOMP split
+  within rows, so every scope claim degrades to ``UNKNOWN``.  Column
+  conflicts across sibling kernels are *not* checked dynamically (the
+  builder's cross-kernel conflict check covers rows only), so transpose
+  direct-store refutations also degrade under row branching.
+* Padding downgrades: ``*_PAD`` operators add stored elements beyond
+  every nonzero-fact bound (a 1-nnz row can pad to a full block of
+  same-row partials), so in padded graphs both the upper-bound VALID
+  claims and the chunk-placement INVALID claims (which reason about
+  which elements land in which chunk from nnz counts) degrade to
+  ``UNKNOWN``.  Pure scope-coverage claims survive — a mapping chunk
+  bounds *stored* elements, padded or not, and padding only ever adds
+  partials, so whole-row conflict witnesses keep existing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.graph import GraphNode, OperatorGraph
+from repro.errors import (
+    REDUCE_CHAIN_BLOCK_TOTAL,
+    REDUCE_CHAIN_DIRECT_STORE,
+    REDUCE_CHAIN_NO_GLOBAL,
+    REDUCE_CHAIN_ORDER,
+    REDUCE_CHAIN_THREAD_TOTAL,
+    REDUCE_CHAIN_WARP_TOTAL,
+)
+from repro.staticcheck.diagnostics import ChainReport, Diagnostic, Severity, Verdict
+from repro.staticcheck.facts import MatrixFacts
+from repro.workloads import DEFAULT_WORKLOAD, Workload
+
+__all__ = ["analyze_design"]
+
+#: branching operators that keep every row in one child kernel.
+_ROW_BRANCHES = {"ROW_DIV", "BIN"}
+#: branching operators that split within rows (or across columns).
+_OTHER_BRANCHES = {"COL_DIV", "HYB_DECOMP"}
+
+_TOTAL_STEPS = {
+    "THREAD_TOTAL_RED": ("thread", REDUCE_CHAIN_THREAD_TOTAL),
+    "WARP_TOTAL_RED": ("warp", REDUCE_CHAIN_WARP_TOTAL),
+    "SHMEM_TOTAL_RED": ("block", REDUCE_CHAIN_BLOCK_TOTAL),
+}
+_MERGE_STEPS = {
+    "THREAD_BITMAP_RED": "thread",
+    "WARP_SEG_RED": "warp",
+    "WARP_BITMAP_RED": "warp",
+    "SHMEM_OFFSET_RED": "block",
+}
+_LEVEL_RANK = {"thread": 0, "warp": 1, "block": 2, "global": 3}
+
+
+@dataclass(frozen=True)
+class _Cov:
+    """Symbolic coverage of one scope instance.
+
+    ``rows``/``elems`` are upper bounds (None = unbounded).  ``whole``
+    asserts the instance covers only complete rows *and* that instances
+    partition consecutive rows exactly — so the first instance provably
+    holds ``min(rows, n_rows)`` rows.  ``top`` asserts the instance is one
+    chunk of the global consecutive element partition of size ``elems``.
+    """
+
+    rows: Optional[int] = None
+    whole: bool = False
+    elems: Optional[int] = None
+    top: bool = False
+
+
+def _subset(cov: _Cov) -> _Cov:
+    """A scope holding an arbitrary subset of ``cov`` (bounds survive,
+    exactness does not)."""
+    return replace(cov, whole=False, top=False)
+
+
+def _scale(cov: _Cov, k: int) -> _Cov:
+    """Union of ``k`` consecutive sibling instances."""
+    return _Cov(
+        rows=None if cov.rows is None else cov.rows * k,
+        whole=cov.whole,
+        elems=None if cov.elems is None else cov.elems * k,
+        top=cov.top,
+    )
+
+
+def _cap_rows(cov: _Cov, bound: Optional[int]) -> _Cov:
+    if bound is None or (cov.rows is not None and cov.rows <= bound):
+        return cov
+    return replace(cov, rows=bound)
+
+
+def _int_param(node: GraphNode, name: str) -> Optional[int]:
+    value = node.params.get(name)
+    try:
+        return int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Segment decomposition
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Segment:
+    """One linear kernel pipeline: mapping levels + reduction steps."""
+
+    compressed: bool = False
+    #: a ``*_PAD`` operator ran: stored-element counts exceed every
+    #: nonzero/stored fact bound, and padded elements scatter too.
+    padded: bool = False
+    #: level name -> (kind suffix, node) in node order.
+    levels: Dict[str, Tuple[str, GraphNode]] = None  # type: ignore[assignment]
+    level_order: List[str] = None  # type: ignore[assignment]
+    steps: List[Tuple[str, str]] = None  # (level, op_name) type: ignore[assignment]
+    tpb: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.levels = {}
+        self.level_order = []
+        self.steps = []
+
+
+def _read_segment(nodes: Sequence[GraphNode]) -> _Segment:
+    seg = _Segment()
+    for node in nodes:
+        name = node.op_name
+        if name == "COMPRESS":
+            seg.compressed = True
+        elif "PAD" in name:
+            seg.padded = True
+        elif name.startswith(("BMTB_", "BMW_", "BMT_")) and name.endswith(
+            ("_ROW_BLOCK", "_NNZ_BLOCK", "_COL_BLOCK")
+        ):
+            level = name.split("_", 1)[0].lower()  # bmtb / bmw / bmt
+            seg.levels[level] = (name.rsplit("_", 2)[-2], node)  # ROW/NNZ/COL
+            seg.level_order.append(level)
+        elif name == "SET_RESOURCES":
+            seg.tpb = _int_param(node, "threads_per_block")
+        elif name in _TOTAL_STEPS:
+            seg.steps.append((_TOTAL_STEPS[name][0], name))
+        elif name in _MERGE_STEPS:
+            seg.steps.append((_MERGE_STEPS[name], name))
+        elif name in ("GMEM_ATOM_RED", "GMEM_DIRECT_STORE"):
+            seg.steps.append(("global", name))
+    return seg
+
+
+def _level_coverage(seg: _Segment) -> Dict[str, _Cov]:
+    """Per-mapping-level coverage, nesting outer-to-inner."""
+    covs: Dict[str, _Cov] = {}
+    # The mapping stage applies coarse-to-fine; any other order would be a
+    # structure the builder does not lay out — stay agnostic about it.
+    expected = [lv for lv in ("bmtb", "bmw", "bmt") if lv in seg.levels]
+    if seg.level_order != expected:
+        return {lv: _Cov() for lv in seg.levels}
+    parent: Optional[_Cov] = None
+    for level in seg.level_order:
+        kind, node = seg.levels[level]
+        if kind == "ROW":
+            r = _int_param(node, "rows_per_block")
+            if r is None or r < 1:
+                cov = _Cov(rows=None, whole=False)
+            elif parent is None:
+                cov = _Cov(rows=r, whole=True)
+            elif parent.rows is not None and parent.whole:
+                cov = _Cov(rows=min(r, parent.rows), whole=True)
+            else:
+                rows = r if parent.rows is None else min(r, parent.rows)
+                cov = _Cov(rows=rows, whole=False, elems=parent.elems)
+        elif kind == "NNZ":
+            c = _int_param(node, "nnz_per_block")
+            if c is None or c < 1:
+                cov = _Cov()
+            else:
+                elems = (
+                    c
+                    if parent is None or parent.elems is None
+                    else min(c, parent.elems)
+                )
+                cov = _Cov(
+                    rows=None if parent is None else parent.rows,
+                    elems=elems,
+                    top=parent is None,
+                )
+        else:  # COL: a column slice of the parent scope
+            cov = _Cov(
+                rows=None if parent is None else parent.rows,
+                elems=None if parent is None else parent.elems,
+            )
+        covs[level] = cov
+        parent = cov
+    return covs
+
+
+def _scope_coverage(seg: _Segment) -> Dict[str, _Cov]:
+    """Coverage of the thread / warp / block scopes under the builder's
+    thread-layout rules (see ``repro.core.kernel.builder._distribute``)."""
+    lv = _level_coverage(seg)
+    bmtb, bmw, bmt = lv.get("bmtb"), lv.get("bmw"), lv.get("bmt")
+
+    if bmt is not None:
+        thread = bmt
+    elif bmw is not None:
+        thread = _subset(bmw)
+    elif bmtb is not None:
+        thread = _subset(bmtb)
+    else:
+        thread = _Cov()  # grid-stride over everything
+
+    if bmw is not None:
+        warp = bmw
+    elif bmt is not None:
+        warp = _scale(bmt, 32)
+        if bmtb is not None:
+            # a warp never crosses its BMTB
+            warp = _cap_rows(warp, bmtb.rows)
+            if bmtb.elems is not None:
+                warp = replace(
+                    warp,
+                    elems=bmtb.elems
+                    if warp.elems is None
+                    else min(warp.elems, bmtb.elems),
+                )
+    elif bmtb is not None:
+        warp = _subset(bmtb)
+    else:
+        warp = _Cov()
+
+    if bmtb is not None:
+        block = bmtb
+    elif seg.tpb is not None and seg.tpb >= 32 and bmw is not None:
+        block = _scale(bmw, max(1, seg.tpb // 32))
+    elif seg.tpb is not None and seg.tpb >= 1 and bmt is not None:
+        block = _scale(bmt, seg.tpb)
+    else:
+        block = _Cov()
+
+    return {"thread": thread, "warp": warp, "block": block}
+
+
+# ---------------------------------------------------------------------------
+# Per-step rules
+# ---------------------------------------------------------------------------
+
+def _total_verdict(
+    cov: _Cov,
+    workload: Workload,
+    facts: MatrixFacts,
+    compressed: bool,
+    padded: bool,
+    branch: str,
+) -> Tuple[Verdict, str]:
+    """A TOTAL reduction at a scope with coverage ``cov``: dynamically
+    valid iff every scope instance touches at most one scatter index.
+
+    ``padded`` graphs void every fact-derived element count (padding adds
+    same-row / column-zero partials past any nonzero bound), so only
+    scope-coverage claims and add-only conflict witnesses survive it.
+    """
+    if workload.transpose:
+        # scatter axis: columns
+        if not padded and facts.upper_n_distinct_cols(compressed) <= 1:
+            return Verdict.VALID, "at most one distinct column in the matrix"
+        if cov.elems is not None and cov.elems <= 1:
+            return Verdict.VALID, "scope holds at most one element"
+        if (
+            not padded
+            and cov.rows == 1
+            and facts.upper_max_elems_per_row(compressed) <= 1
+        ):
+            return Verdict.VALID, "one row per scope, rows hold <= 1 element"
+        if branch != "other" and cov.whole and facts.max_cols_per_row_nz >= 2:
+            return (
+                Verdict.INVALID,
+                "a whole-row scope covers a row with "
+                f"{facts.max_cols_per_row_nz} distinct columns",
+            )
+        if (
+            not padded
+            and branch == "none"
+            and cov.top
+            and cov.elems is not None
+        ):
+            if facts.n_distinct_cols_nz >= 2 and facts.upper_nnz(compressed) <= cov.elems:
+                return (
+                    Verdict.INVALID,
+                    "a single chunk covers the whole matrix "
+                    f"({facts.n_distinct_cols_nz} distinct columns)",
+                )
+            if (
+                compressed
+                and cov.elems >= 2
+                and facts.max_cols_per_row_nz >= cov.elems + 1
+            ):
+                return (
+                    Verdict.INVALID,
+                    "a row-major run longer than the chunk size forces >= 2 "
+                    "distinct columns into one chunk",
+                )
+        return Verdict.UNKNOWN, ""
+
+    # scatter axis: rows (SpMV / SpMM)
+    if not padded and facts.upper_n_nonempty_rows(compressed) <= 1:
+        return Verdict.VALID, "at most one non-empty row in the matrix"
+    if cov.rows == 1:
+        return Verdict.VALID, "scope covers at most one row"
+    if cov.elems is not None and cov.elems <= 1:
+        return Verdict.VALID, "scope holds at most one element"
+    if (
+        branch == "none"
+        and cov.whole
+        and cov.rows is not None
+        and cov.rows >= 2
+        and not facts.has_empty_row_nz
+        and facts.n_rows >= 2
+    ):
+        return (
+            Verdict.INVALID,
+            f"a scope of {cov.rows} consecutive rows with no empty rows "
+            "yields >= 2 row partials",
+        )
+    if (
+        not padded
+        and branch == "none"
+        and cov.top
+        and cov.elems is not None
+    ):
+        if facts.n_nonempty_rows_nz >= 2 and (
+            facts.upper_nnz(compressed) <= cov.elems
+            or cov.elems > facts.upper_max_elems_per_row(compressed)
+        ):
+            return (
+                Verdict.INVALID,
+                "an element chunk provably spans >= 2 non-empty rows",
+            )
+    return Verdict.UNKNOWN, ""
+
+
+def _direct_store_verdict(
+    merge_cov: Optional[_Cov],
+    workload: Workload,
+    facts: MatrixFacts,
+    compressed: bool,
+    padded: bool,
+    branch: str,
+) -> Tuple[Verdict, str]:
+    """GMEM_DIRECT_STORE: dynamically valid iff, after the coarsest merge
+    step (or per element when none ran), each output index receives at
+    most one partial within its kernel.
+
+    Under ``padded`` the fact-derived per-output element bounds are void
+    (a padded row/column holds extra same-index partials), so the VALID
+    claims built on them degrade; the INVALID ones survive, as padding
+    only ever adds partials.
+    """
+    transpose = workload.transpose
+    upper_per_out = (
+        facts.upper_max_elems_per_col(compressed)
+        if transpose
+        else facts.upper_max_elems_per_row(compressed)
+    )
+    lower_per_out = facts.max_rows_per_col_nz if transpose else facts.max_cols_per_row_nz
+
+    if merge_cov is None:
+        # one partial per stored element
+        if transpose:
+            if branch == "none" and lower_per_out >= 2:
+                return (
+                    Verdict.INVALID,
+                    f"a column receives {lower_per_out} unmerged partials",
+                )
+            if branch == "none" and not padded and upper_per_out <= 1:
+                return Verdict.VALID, "every column holds at most one element"
+        else:
+            if branch in ("none", "row") and lower_per_out >= 2:
+                return (
+                    Verdict.INVALID,
+                    f"a row receives {lower_per_out} unmerged partials",
+                )
+            if branch in ("none", "row") and not padded and upper_per_out <= 1:
+                return Verdict.VALID, "every row holds at most one element"
+        return Verdict.UNKNOWN, ""
+
+    if (
+        not padded
+        and upper_per_out <= 1
+        and branch in (("none",) if transpose else ("none", "row"))
+    ):
+        return Verdict.VALID, "every output index holds at most one element"
+
+    if merge_cov.whole and merge_cov.rows is not None:
+        if not transpose:
+            if branch in ("none", "row"):
+                return (
+                    Verdict.VALID,
+                    "rows merge entirely within one row-aligned scope",
+                )
+        elif branch == "none" and facts.max_rows_per_col_nz > merge_cov.rows:
+            return (
+                Verdict.INVALID,
+                f"a column spans more than {merge_cov.rows} rows, so it "
+                "crosses row-aligned merge scopes",
+            )
+        return Verdict.UNKNOWN, ""
+
+    if merge_cov.elems is not None:
+        if lower_per_out > merge_cov.elems and (
+            branch == "none" if transpose else branch in ("none", "row")
+        ):
+            return (
+                Verdict.INVALID,
+                f"an output index with {lower_per_out} elements cannot fit "
+                f"one merge scope of {merge_cov.elems} elements",
+            )
+        if (
+            branch == "none"
+            and not padded
+            and merge_cov.top
+            and facts.upper_nnz(compressed) <= merge_cov.elems
+        ):
+            return Verdict.VALID, "a single merge scope covers the whole matrix"
+    return Verdict.UNKNOWN, ""
+
+
+# ---------------------------------------------------------------------------
+# Chain analysis
+# ---------------------------------------------------------------------------
+
+def _analyze_segment(
+    nodes: Sequence[GraphNode],
+    workload: Workload,
+    facts: Optional[MatrixFacts],
+    branch: str,
+) -> ChainReport:
+    seg = _read_segment(nodes)
+    diags: List[Diagnostic] = []
+    steps: List[Tuple[str, Verdict]] = []
+    verdicts: List[Verdict] = []
+
+    # Step-order sanity (unreachable through OperatorGraph construction,
+    # but the audit pass replays raw persisted designs through here).
+    last_rank = -1
+    reached_global = False
+    for level, name in seg.steps:
+        rank = _LEVEL_RANK[level]
+        if rank <= last_rank or reached_global:
+            diags.append(
+                Diagnostic(
+                    REDUCE_CHAIN_ORDER,
+                    Severity.ERROR,
+                    f"{name} out of scope order in the reduction chain",
+                    node=name,
+                )
+            )
+            verdicts.append(Verdict.INVALID)
+        last_rank = rank
+        reached_global = reached_global or level == "global"
+    if not reached_global:
+        diags.append(
+            Diagnostic(
+                REDUCE_CHAIN_NO_GLOBAL,
+                Severity.ERROR,
+                "reduction chain never reaches global memory",
+            )
+        )
+        verdicts.append(Verdict.INVALID)
+
+    scopes = _scope_coverage(seg)
+    merge_cov: Optional[_Cov] = None  # coarsest reduction scope before global
+    if facts is not None:
+        for level, name in seg.steps:
+            if name in _TOTAL_STEPS:
+                verdict, why = _total_verdict(
+                    scopes[level], workload, facts, seg.compressed,
+                    seg.padded, branch,
+                )
+                steps.append((name, verdict))
+                verdicts.append(verdict)
+                if verdict is Verdict.INVALID:
+                    diags.append(
+                        Diagnostic(
+                            _TOTAL_STEPS[name][1],
+                            Severity.ERROR,
+                            f"{name} cannot validate for {workload.name}: {why}",
+                            node=name,
+                        )
+                    )
+                merge_cov = scopes[level]
+            elif name in _MERGE_STEPS:
+                steps.append((name, Verdict.VALID))
+                verdicts.append(Verdict.VALID)
+                merge_cov = scopes[level]
+            elif name == "GMEM_DIRECT_STORE":
+                verdict, why = _direct_store_verdict(
+                    merge_cov, workload, facts, seg.compressed,
+                    seg.padded, branch,
+                )
+                steps.append((name, verdict))
+                verdicts.append(verdict)
+                if verdict is Verdict.INVALID:
+                    diags.append(
+                        Diagnostic(
+                            REDUCE_CHAIN_DIRECT_STORE,
+                            Severity.ERROR,
+                            "GMEM_DIRECT_STORE cannot validate for "
+                            f"{workload.name}: {why}",
+                            node=name,
+                        )
+                    )
+            elif name == "GMEM_ATOM_RED":
+                steps.append((name, Verdict.VALID))
+                verdicts.append(Verdict.VALID)
+
+    if Verdict.INVALID in verdicts:
+        overall = Verdict.INVALID
+    elif verdicts and all(v is Verdict.VALID for v in verdicts):
+        overall = Verdict.VALID
+    else:
+        overall = Verdict.UNKNOWN
+    return ChainReport(verdict=overall, diagnostics=diags, steps=tuple(steps))
+
+
+def _analyze_sequence(
+    nodes: Sequence[GraphNode],
+    workload: Workload,
+    facts: Optional[MatrixFacts],
+    branch: str,
+) -> ChainReport:
+    for i, node in enumerate(nodes):
+        name = node.op_name
+        if name in _ROW_BRANCHES or name in _OTHER_BRANCHES:
+            child_branch = (
+                branch if branch == "other" else
+                ("row" if name in _ROW_BRANCHES else "other")
+            )
+            # The prefix (COMPRESS, SORT, ...) applies to every child kernel.
+            prefix = list(nodes[:i])
+            children = node.children or [list(nodes[i + 1 :])]
+            report: Optional[ChainReport] = None
+            for child in children:
+                sub = _analyze_sequence(
+                    prefix + list(child), workload, facts, child_branch
+                )
+                report = sub if report is None else report.merge(sub)
+            return report if report is not None else ChainReport(Verdict.UNKNOWN)
+    return _analyze_segment(nodes, workload, facts, branch)
+
+
+def analyze_design(
+    graph: OperatorGraph,
+    workload: Optional[Workload] = None,
+    facts: Optional[MatrixFacts] = None,
+) -> ChainReport:
+    """Statically judge one design's reduction chain.
+
+    ``facts=None`` restricts the analysis to matrix-independent checks
+    (step order, global-step presence); with facts, every TOTAL reduction
+    and direct store is proved valid/invalid/unknown per the soundness
+    contract documented on :class:`~repro.staticcheck.diagnostics.ChainReport`.
+    """
+    workload = workload or DEFAULT_WORKLOAD
+    return _analyze_sequence(list(graph.nodes), workload, facts, branch="none")

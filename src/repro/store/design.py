@@ -455,6 +455,23 @@ class DesignStore:
             records.append(entry["payload"])
         return records
 
+    def design_payloads(self) -> List[Tuple[str, str, Dict]]:
+        """``(filename, signature-repr, payload)`` per valid design entry,
+        in deterministic filename order — the static audit walks these to
+        re-judge persisted designs; corrupt entries are skipped (they are
+        already surfaced by :meth:`verify`)."""
+        out: List[Tuple[str, str, Dict]] = []
+        for name in self._list("designs"):
+            path = os.path.join(self.path, "designs", name)
+            try:
+                entry = self._read_entry(path, "design")
+            except _CorruptEntry:
+                continue
+            out.append(
+                (name, str(entry.get("signature", "")), entry["payload"])
+            )
+        return out
+
     # ------------------------------------------------------------------
     # Maintenance (CLI: store ls / verify / gc)
     # ------------------------------------------------------------------

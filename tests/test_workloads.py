@@ -207,12 +207,15 @@ class TestSpmvByteIdentity:
         return named_matrix(GOLDEN_MATRIX)
 
     def _search(self, matrix, jobs=1, store=None, workload=None):
+        # Static pruning is pinned off: these goldens define the
+        # pre-verifier bytes, which pruning-off must keep reproducing.
         engine = SearchEngine(
             A100,
             budget=SearchBudget(jobs=jobs, **GOLDEN_BUDGET),
             seed=0,
             store=store,
             workload=workload,
+            enable_static_pruning=False,
         )
         try:
             return engine.search(matrix)
@@ -257,7 +260,8 @@ class TestBenchByteIdentity:
         """Bench tables are byte-identical to the pre-refactor code for
         the default workload (wall-clock fields stripped)."""
         runner = CorpusRunner(
-            A100, budget=SearchBudget(max_total_evals=48), seed=0
+            A100, budget=SearchBudget(max_total_evals=48), seed=0,
+            static_pruning=False,
         )
         with runner:
             result = runner.run(corpus(2))
@@ -274,6 +278,10 @@ class TestBenchByteIdentity:
         # workload config pin (old result stores stay resumable).
         assert all("workload" not in r for r in result.records)
         assert "workload" not in runner.config()
+        # pruning-off runs pin no static_pruning key and no counter, so
+        # pre-verifier result stores resume under the same config bytes.
+        assert "static_pruning" not in runner.config()["engine"]
+        assert all("static_pruned" not in r["search"] for r in result.records)
 
 
 # ---------------------------------------------------------------------------
