@@ -18,8 +18,9 @@ Commands::
                           [--workload NAME] [--resume PATH] [--store DIR]
     python -m repro serve <matrix.mtx | @named> [more ...] --store DIR
                           [--gpu A100] [--evals N] [--jobs N]
-                          [--workload NAME] [--out DIR]
-    python -m repro store {ls | gc | verify} DIR
+                          [--workers N] [--backend auto|dir|journal]
+                          [--deadline S] [--workload NAME] [--out DIR]
+    python -m repro store {ls | gc | verify | compact} DIR [--repair]
     python -m repro check [--store DIR] [--matrix SPEC] [--workload NAME]
                           [--samples N] [--seed S]
     python -m repro stats <matrix.mtx | @named>
@@ -39,8 +40,13 @@ of the built-in deterministic corpus (``@corpus:K-N`` for a shard).
 on-disk :class:`~repro.store.design.DesignStore`: a later search of the
 same matrix — even in a new process — warm-starts with zero Designer
 runs.  ``serve`` answers requests store-first (exact hit → feature
-nearest-neighbour transfer → bounded fresh search) and ``store
-ls/gc/verify`` inspect, prune and integrity-check a store directory.
+nearest-neighbour transfer → bounded fresh search); with ``--workers N``
+it serves through a supervised multi-process resolver pool (crashed
+workers restart, deadline-blown requests degrade tier-by-tier, every
+request gets an answer).  ``store ls/gc/verify/compact`` inspect, prune,
+integrity-check (``verify --repair`` quarantines damage) and compact a
+store directory; ``--backend journal`` selects the crash-safe
+append-only store backend built for multi-process serving.
 
 ``check`` runs the static verifier against the search space: it samples
 candidate designs, compares the chain analysis's verdicts against the
@@ -315,19 +321,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Store-first request resolution (exact → neighbour → bounded search)."""
+    """Store-first request resolution (exact → neighbour → bounded search).
+
+    ``--workers N`` (N >= 1) serves through the supervised multi-process
+    :class:`~repro.serve.pool.ResolverPool` instead of the in-process
+    frontend: crashed workers restart, hung requests are killed at the
+    deadline, and every request gets an answer — degraded if need be.
+    """
     import dataclasses
+
+    from repro.serve import ResolverPool
+    from repro.store import open_store
 
     matrices = [_load_matrix(spec) for spec in args.matrix]
     gpu = gpu_by_name(args.gpu)
-    store = DesignStore(args.store)
     budget = dataclasses.replace(
         default_serve_budget(jobs=args.jobs), max_total_evals=args.evals
     )
-    with Frontend(gpu, store, budget=budget, seed=args.seed,
-                  jobs=args.jobs, workload=args.workload) as frontend:
-        responses = frontend.resolve_batch(matrices)
-        stats = frontend.stats()
+    summary = ""
+    if args.workers > 0:
+        with ResolverPool(gpu, args.store, workers=args.workers,
+                          backend=args.backend, budget=budget,
+                          seed=args.seed, workload=args.workload.name,
+                          deadline_s=args.deadline) as pool:
+            responses = pool.resolve_batch(matrices)
+            pstats = pool.stats()
+        summary = (f"pool: {args.workers} workers, "
+                   f"{pstats.redispatched} re-dispatched / "
+                   f"{pstats.restarts} restarts / "
+                   f"{pstats.degraded} degraded")
+    else:
+        store = open_store(args.store, backend=args.backend)
+        with Frontend(gpu, store, budget=budget, seed=args.seed,
+                      jobs=args.jobs, workload=args.workload) as frontend:
+            responses = frontend.resolve_batch(matrices)
+            stats = frontend.stats()
+        summary = (f"frontend: {stats.exact_hits} exact / "
+                   f"{stats.neighbour_hits} neighbour / "
+                   f"{stats.searches} searched / {stats.misses} missed "
+                   f"(hit rate {stats.hit_rate:.0%})")
     rows = []
     for response in responses:
         detail = ""
@@ -335,6 +367,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             detail = f"transferred from {response.neighbour_of}"
         elif response.source == "search":
             detail = f"{response.evaluations} evaluations"
+        elif response.source == "degraded":
+            detail = response.note
         elif response.source == "miss":
             detail = "no valid design in budget; raise --evals"
         rows.append([
@@ -349,9 +383,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["matrix", "source", "GFLOPS", "detail"],
         rows,
     ))
-    print(f"frontend: {stats.exact_hits} exact / {stats.neighbour_hits} "
-          f"neighbour / {stats.searches} searched / {stats.misses} missed "
-          f"(hit rate {stats.hit_rate:.0%})")
+    print(summary)
     if args.out:
         used_dirs: set = set()
         for i, response in enumerate(responses):
@@ -369,12 +401,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
-    """Maintenance subcommands over one store directory (ls/gc/verify)."""
+    """Maintenance subcommands over one store directory
+    (ls/gc/verify/compact), backend-dispatched via ``open_store``."""
+    from repro.store import open_store
+
     try:
-        store = DesignStore(args.path, create=False)
+        store = open_store(args.path, create=False)
     except StoreError as exc:
         print(f"error: {exc}")
         return 2
+    if args.action == "compact":
+        if not hasattr(store, "compact"):
+            print("error: only journal-backend stores compact; this store "
+                  "uses the directory backend")
+            return 2
+        info = store.compact()
+        print(f"compacted to epoch {info['epoch']}: {info['designs']} designs"
+              f" + {info['results']} results + {info['claims']} claims in "
+              f"the snapshot, {info['reclaimed_bytes']} journal bytes "
+              f"reclaimed")
+        return 0
     if args.action == "ls":
         entries = store.entries()
         print(render_table(
@@ -388,12 +434,15 @@ def _cmd_store(args: argparse.Namespace) -> int:
         ))
         return 0
     if args.action == "verify":
-        statuses = store.verify()
+        statuses = store.verify(repair=args.repair)
         bad = [s for s in statuses if not s.ok]
         for status in bad:
             print(f"CORRUPT {status.kind}/{status.filename}: {status.detail}")
         print(f"verified {len(statuses)} entries: "
               f"{len(statuses) - len(bad)} ok, {len(bad)} corrupt")
+        if args.repair and getattr(store, "quarantine_log", None):
+            for name, reason in store.quarantine_log:
+                print(f"quarantined {name}: {reason}")
         return 1 if bad else 0
     # gc
     removed_corrupt, removed_unreferenced = store.gc()
@@ -728,19 +777,41 @@ def build_parser() -> argparse.ArgumentParser:
                         + ", ".join(sorted(WORKLOADS))
                         + " (default: spmv)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="N >= 1: serve through a supervised pool of N "
+                        "resolver processes (crash restart, deadlines, "
+                        "graceful degradation); 0: in-process frontend "
+                        "(default)")
+    p.add_argument("--backend", choices=("auto", "dir", "journal"),
+                   default="auto",
+                   help="store backend: auto reads the existing header "
+                        "(new stores default to dir); journal is the "
+                        "crash-safe multi-writer log")
+    p.add_argument("--deadline", type=float, default=30.0, metavar="S",
+                   help="per-request wall-clock deadline under --workers; "
+                        "a worker past it is killed and the request "
+                        "re-dispatched one degradation tier down")
     p.add_argument("--out", default=None,
                    help="materialise each served artifact under DIR/<name>")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "store",
-        help="inspect or maintain a design store (ls / gc / verify)",
+        help="inspect or maintain a design store "
+             "(ls / gc / verify / compact)",
     )
-    p.add_argument("action", choices=("ls", "gc", "verify"),
+    p.add_argument("action", choices=("ls", "gc", "verify", "compact"),
                    help="ls: list entries; gc: prune corrupt + "
                         "unreferenced entries; verify: integrity-check "
-                        "every entry (exit 1 on corruption)")
+                        "every entry (exit 1 on corruption); compact: "
+                        "fold a journal-backend store into a snapshot "
+                        "and reset its log")
     p.add_argument("path", help="design-store directory")
+    p.add_argument("--repair", action="store_true",
+                   help="with verify: quarantine every failing entry "
+                        "(directory backend moves files to corrupt/; "
+                        "journal backend drops the records and compacts "
+                        "away framing damage)")
     p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser(

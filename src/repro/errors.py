@@ -49,6 +49,8 @@ __all__ = [
     "STORE_BAD_GRAPH",
     "STORE_UNKNOWN_OPERATOR",
     "STORE_BAD_WORKLOAD",
+    "STORE_QUARANTINED",
+    "STORE_TAIL_LOST",
     "CHECK_UNSOUND",
     "code_of",
 ]
@@ -87,6 +89,13 @@ STORE_CORRUPT_ENTRY = "STORE-CORRUPT-ENTRY"
 STORE_BAD_GRAPH = "STORE-BAD-GRAPH"
 STORE_UNKNOWN_OPERATOR = "STORE-UNKNOWN-OPERATOR"
 STORE_BAD_WORKLOAD = "STORE-BAD-WORKLOAD"
+#: a corrupt entry was moved aside to the store's ``corrupt/`` sibling dir
+#: (first detection on a read path, or ``store verify --repair``) — the
+#: store stops retrying it and a rewrite of the key heals cleanly
+STORE_QUARANTINED = "STORE-QUARANTINED"
+#: a journal-backend store lost records after a mid-log framing corruption
+#: (everything before the damage replays; compaction reclaims the file)
+STORE_TAIL_LOST = "STORE-TAIL-LOST"
 
 # --- the checker checking itself (differential self-test) ------------------
 CHECK_UNSOUND = "CHECK-UNSOUND"

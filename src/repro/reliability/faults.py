@@ -1,0 +1,130 @@
+"""Deterministic fault injection behind the store and pool seams.
+
+Chaos testing is only useful when it replays: a fault schedule that
+depends on wall clock or shared RNG state produces unreproducible CI
+failures.  Here every injection decision is a pure function of
+``(plan.seed, site, context)`` — the same plan applied to the same
+request sequence fires the same faults, every run, in every process.
+
+Sites (each gated by its rate field on :class:`FaultPlan`):
+
+``io_error``
+    Store entry read/write raises :class:`OSError` (the store treats it
+    exactly like real disk trouble: corrupt-entry accounting, miss).
+``lock_timeout``
+    A journal lock acquisition attempt fails as if contended; the
+    bounded-retry policy then decides whether the operation survives.
+``worker_kill``
+    A resolver pool worker ``os._exit``\\ s mid-request — a real process
+    death, not an exception (checked in :mod:`repro.serve.pool`).
+``worker_hang``
+    A worker sleeps past its deadline instead of dying, exercising the
+    supervisor's heartbeat/deadline kill path.
+``torn_write``
+    A journal append writes only a prefix of the record and then raises
+    :class:`InjectedCrash` — simulating a process dying mid-append, the
+    exact scenario truncated-tail recovery exists for.
+``corrupt_record``
+    A journal append writes a frame whose payload bytes are flipped (CRC
+    recomputed over the damage), exercising replay-time digest rejection.
+``slow_store``
+    Store operations sleep ``slow_store_s`` seconds, exercising deadline
+    handling without any actual failure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.reliability.retry import _unit_hash
+
+__all__ = ["FaultPlan", "FaultInjector", "InjectedCrash"]
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated process death mid-operation (torn journal write).
+
+    Raised *after* the partial bytes hit the file, so the caller's
+    in-memory state and the on-disk tail disagree exactly the way they
+    would after a real crash.  Production code never catches this — only
+    the chaos tests do.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates (per-site probabilities in [0, 1]) plus the plan seed.
+
+    A plan is a frozen, picklable value: the resolver pool ships it to
+    worker processes so every process derives the same fault schedule.
+    """
+
+    seed: int = 0
+    io_error_rate: float = 0.0
+    lock_timeout_rate: float = 0.0
+    worker_kill_rate: float = 0.0
+    worker_hang_rate: float = 0.0
+    worker_hang_s: float = 30.0
+    torn_write_rate: float = 0.0
+    corrupt_record_rate: float = 0.0
+    slow_store_rate: float = 0.0
+    slow_store_s: float = 0.05
+
+    _RATES = {
+        "io_error": "io_error_rate",
+        "lock_timeout": "lock_timeout_rate",
+        "worker_kill": "worker_kill_rate",
+        "worker_hang": "worker_hang_rate",
+        "torn_write": "torn_write_rate",
+        "corrupt_record": "corrupt_record_rate",
+        "slow_store": "slow_store_rate",
+    }
+
+    def rate(self, site: str) -> float:
+        try:
+            return getattr(self, self._RATES[site])
+        except KeyError:
+            raise ValueError(
+                f"unknown fault site {site!r}; one of {sorted(self._RATES)}"
+            ) from None
+
+    @property
+    def any_faults(self) -> bool:
+        return any(getattr(self, name) > 0.0 for name in self._RATES.values())
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+
+@dataclass
+class FaultInjector:
+    """Stateless decisions + per-site fired counters for one plan.
+
+    ``decide(site, *context)`` hashes the site name and the caller-supplied
+    context (request id, attempt number, record serial, ...) against the
+    plan seed; the context is what lets a retried operation get a *fresh*
+    decision — include the attempt index wherever an operation may repeat.
+    """
+
+    plan: FaultPlan
+    fired: Dict[str, int] = field(default_factory=dict)
+
+    def decide(self, site: str, *context: object) -> bool:
+        rate = self.plan.rate(site)
+        if rate <= 0.0:
+            return False
+        hit = _unit_hash(self.plan.seed, "fault", site, *context) < rate
+        if hit:
+            self.fired[site] = self.fired.get(site, 0) + 1
+        return hit
+
+    # -- convenience wrappers used by the store seams -------------------
+    def maybe_io_error(self, *context: object) -> None:
+        if self.decide("io_error", *context):
+            raise OSError(f"injected I/O error at {context!r}")
+
+    def maybe_slow(self, *context: object) -> None:
+        if self.decide("slow_store", *context):
+            time.sleep(self.plan.slow_store_s)

@@ -1,0 +1,123 @@
+"""Shared retry policy: bounded attempts, deterministic backoff, allowlist.
+
+Every retry loop in the stack — journal lock acquisition under writer
+contention, the serving frontend's tier fallback after a failed request —
+uses one :class:`RetryPolicy` value instead of inline ``for``-loop
+constants.  The backoff sequence is *deterministic*: exponential growth
+with jitter derived from a seeded hash of the attempt index, so two runs
+of the same configuration sleep the same amounts and chaos tests replay
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type, TypeVar
+
+__all__ = ["RetryPolicy", "RetryError", "call_with_retry"]
+
+_T = TypeVar("_T")
+
+
+def _unit_hash(seed: int, *parts: object) -> float:
+    """Deterministic uniform-[0,1) value from a seed plus context parts."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(seed).encode("utf-8"))
+    for part in parts:
+        h.update(b"\x00")
+        h.update(repr(part).encode("utf-8"))
+    (value,) = struct.unpack(">Q", h.digest())
+    return value / 2**64
+
+
+class RetryError(Exception):
+    """All attempts of a retried call failed.
+
+    Carries the attempt count and the last underlying exception (also
+    chained as ``__cause__``), so callers and logs see both the policy
+    that gave up and the error that defeated it.
+    """
+
+    def __init__(self, message: str, attempts: int, last: BaseException) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last = last
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with deterministic exponential backoff + seeded jitter.
+
+    ``attempts`` is the *total* number of tries (so ``attempts=1`` means no
+    retry at all).  Delay before retry ``i`` (0-based) is::
+
+        min(max_delay_s, base_delay_s * multiplier**i) * (1 + jitter * u_i)
+
+    where ``u_i`` is a deterministic uniform value in [-1, 1) hashed from
+    ``(seed, i)`` — full-run reproducibility, no shared RNG state.
+    ``retry_on`` is the exception allowlist: anything not listed propagates
+    immediately (a programming error must never be retried into silence).
+    """
+
+    attempts: int = 5
+    base_delay_s: float = 0.005
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.1
+    seed: int = 0
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int) -> float:
+        """Deterministic sleep before retry ``attempt`` (0-based)."""
+        base = min(self.max_delay_s, self.base_delay_s * self.multiplier**attempt)
+        spread = 2.0 * _unit_hash(self.seed, "retry-delay", attempt) - 1.0
+        return base * (1.0 + self.jitter * spread)
+
+    def delays(self) -> List[float]:
+        """The full backoff schedule (``attempts - 1`` sleeps)."""
+        return [self.delay(i) for i in range(self.attempts - 1)]
+
+    def should_retry(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+
+def call_with_retry(
+    fn: Callable[[], _T],
+    policy: RetryPolicy,
+    describe: str = "",
+    sleep: Optional[Callable[[float], None]] = None,
+) -> _T:
+    """Call ``fn`` under ``policy``; raise :class:`RetryError` when beaten.
+
+    ``sleep`` is injectable so tests assert the deterministic schedule
+    without actually waiting.
+    """
+    sleep = time.sleep if sleep is None else sleep
+    last: Optional[BaseException] = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except BaseException as exc:
+            if not policy.should_retry(exc):
+                raise
+            last = exc
+            if attempt + 1 < policy.attempts:
+                sleep(policy.delay(attempt))
+    assert last is not None
+    raise RetryError(
+        f"{describe or 'retried call'} failed after {policy.attempts} "
+        f"attempt(s): {last}",
+        attempts=policy.attempts,
+        last=last,
+    ) from last

@@ -2,14 +2,37 @@
 
 ``frontend.resolve(matrix)`` answers by exact design-store hit, then
 feature-signature nearest-neighbour transfer, then a bounded fresh search
-— see :mod:`repro.serve.frontend`.
+— see :mod:`repro.serve.frontend`.  Requests degrade gracefully down that
+ladder under infrastructure failure, bottoming out at an explicit
+``DEGRADED`` answer; :mod:`repro.serve.pool` scales resolution across a
+supervised multi-process worker pool that restarts crashed workers and
+answers every request.
 """
 
 from repro.serve.frontend import (
+    TIER_DEGRADED,
+    TIER_EXACT,
+    TIER_NEIGHBOUR,
+    TIER_SEARCH,
     Frontend,
     ServeResponse,
     ServeStats,
+    default_fallback_policy,
     default_serve_budget,
 )
+from repro.serve.pool import PoolStats, ResolverPool, search_claim_key
 
-__all__ = ["Frontend", "ServeResponse", "ServeStats", "default_serve_budget"]
+__all__ = [
+    "Frontend",
+    "ServeResponse",
+    "ServeStats",
+    "ResolverPool",
+    "PoolStats",
+    "search_claim_key",
+    "default_serve_budget",
+    "default_fallback_policy",
+    "TIER_DEGRADED",
+    "TIER_EXACT",
+    "TIER_NEIGHBOUR",
+    "TIER_SEARCH",
+]

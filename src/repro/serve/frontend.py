@@ -21,6 +21,20 @@ tiers, cheapest first:
    through the store-backed engine; the result (and every design the
    search produced) is persisted for future requests.
 
+Resolution is also the unit of *graceful degradation*: every tier has a
+numeric rank (``TIER_SEARCH`` > ``TIER_NEIGHBOUR`` > ``TIER_EXACT`` >
+``TIER_DEGRADED``) and callers may cap the most expensive tier a request
+is allowed to use (``max_tier``).  When a capped request cannot be
+answered from the store — or when a tier fails with infrastructure
+trouble (store I/O errors, lock timeouts) — the request walks *down* the
+ladder under the frontend's :class:`~repro.reliability.retry.RetryPolicy`
+and bottoms out at :meth:`Frontend.resolve_degraded`, which never raises:
+it answers with the nearest stored donor's design *unverified* (flagged
+in ``note``, never written back) or, with an empty store, an unmeasured
+CSR baseline graph.  A ``DEGRADED`` answer is explicit (``source ==
+"degraded"``) so callers can tell a best-effort artifact from a measured
+one.
+
 Batches resolve over the engine's existing
 :class:`~repro.search.evaluation.EvaluationRuntime` pool: every request's
 exact-hit lookup (a pure store read) is sharded across the workers, then
@@ -46,10 +60,12 @@ from repro.core.graph import GraphValidationError, OperatorGraph
 from repro.core.kernel.builder import BuildError
 from repro.gpu.arch import GPUSpec
 from repro.gpu.executor import PlanValidationError
+from repro.reliability.retry import RetryPolicy
 from repro.search.engine import SearchBudget, SearchEngine
 from repro.search.evaluation import matrix_token
 from repro.sparse.matrix import SparseMatrix
 from repro.store.design import DesignStore
+from repro.store.errors import StoreError
 from repro.store.records import (
     feature_vector,
     make_result_record,
@@ -57,7 +73,38 @@ from repro.store.records import (
 )
 from repro.workloads import Workload, ensure_engine_workload
 
-__all__ = ["Frontend", "ServeResponse", "ServeStats", "default_serve_budget"]
+__all__ = [
+    "Frontend",
+    "ServeResponse",
+    "ServeStats",
+    "default_serve_budget",
+    "default_fallback_policy",
+    "TIER_DEGRADED",
+    "TIER_EXACT",
+    "TIER_NEIGHBOUR",
+    "TIER_SEARCH",
+]
+
+#: Degradation-ladder ranks: a request's ``max_tier`` caps the most
+#: expensive tier it may use; infrastructure failures walk it down one
+#: rung per retry.  ``TIER_DEGRADED`` answers always succeed.
+TIER_DEGRADED = 0
+TIER_EXACT = 1
+TIER_NEIGHBOUR = 2
+TIER_SEARCH = 3
+
+
+def default_fallback_policy() -> RetryPolicy:
+    """Serve-tier fallback: each infrastructure failure burns one attempt
+    and one ladder rung.  Store trouble (I/O errors, lock timeouts) is
+    retryable; anything else is a programming error and propagates."""
+    return RetryPolicy(
+        attempts=4,
+        base_delay_s=0.01,
+        multiplier=2.0,
+        max_delay_s=0.2,
+        retry_on=(OSError, StoreError),
+    )
 
 
 def default_serve_budget(jobs: int = 1) -> SearchBudget:
@@ -80,10 +127,21 @@ class ServeStats:
     neighbour_hits: int = 0
     searches: int = 0
     misses: int = 0
+    #: requests re-resolved after an infrastructure failure (each ladder
+    #: step counts once — a request retried twice adds two)
+    retried: int = 0
+    #: requests answered by the explicit DEGRADED tier
+    degraded: int = 0
 
     @property
     def requests(self) -> int:
-        return self.exact_hits + self.neighbour_hits + self.searches + self.misses
+        return (
+            self.exact_hits
+            + self.neighbour_hits
+            + self.searches
+            + self.misses
+            + self.degraded
+        )
 
     @property
     def hit_rate(self) -> float:
@@ -97,6 +155,8 @@ class ServeStats:
             neighbour_hits=self.neighbour_hits - other.neighbour_hits,
             searches=self.searches - other.searches,
             misses=self.misses - other.misses,
+            retried=self.retried - other.retried,
+            degraded=self.degraded - other.degraded,
         )
 
 
@@ -106,8 +166,10 @@ class ServeResponse:
 
     ``source`` is the tier that answered: ``"store"`` (exact hit),
     ``"neighbour"`` (transferred design), ``"search"`` (fresh bounded
-    search) or ``"miss"`` (the bounded search found no valid design —
-    raise the budget or search offline).  ``artifact`` is the
+    search), ``"degraded"`` (best-effort answer under failure or a tier
+    cap — ``note`` says what it is and ``gflops`` is *not* a measurement
+    on this matrix) or ``"miss"`` (the bounded search found no valid
+    design — raise the budget or search offline).  ``artifact`` is the
     :func:`repro.export.program_payload` dict; materialise it with
     :func:`repro.export.write_artifact`.
     """
@@ -120,6 +182,8 @@ class ServeResponse:
     neighbour_of: str = ""
     evaluations: int = 0
     wall_time_s: float = 0.0
+    #: human-readable caveat for degraded answers ("" otherwise)
+    note: str = ""
 
     @property
     def ok(self) -> bool:
@@ -144,6 +208,7 @@ class Frontend:
         engine: Optional[SearchEngine] = None,
         include_artifacts: bool = True,
         workload: Optional[Workload] = None,
+        fallback_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.gpu = gpu
         self.store = store
@@ -166,6 +231,8 @@ class Frontend:
         #: the same workload, so a SpMM request can never be answered
         #: with a SpMV artifact.
         self.workload = self.engine.workload
+        #: degradation-ladder retry budget for infrastructure failures
+        self.fallback_policy = fallback_policy or default_fallback_policy()
         self._lock = threading.Lock()
         self._stats = ServeStats()
         #: cached neighbour-ranking index (one store scan, reused across
@@ -227,18 +294,25 @@ class Frontend:
             )
 
     # ------------------------------------------------------------------
-    def resolve(self, matrix: SparseMatrix) -> ServeResponse:
-        """Resolve one request: exact hit → neighbour → bounded search."""
+    def resolve(
+        self, matrix: SparseMatrix, max_tier: int = TIER_SEARCH
+    ) -> ServeResponse:
+        """Resolve one request: exact hit → neighbour → bounded search.
+
+        ``max_tier`` caps the most expensive tier: ``TIER_NEIGHBOUR``
+        forbids fresh searches (a capped request the store cannot answer
+        degrades instead of searching), ``TIER_EXACT`` additionally
+        forbids transfer evaluation, ``TIER_DEGRADED`` answers from
+        :meth:`resolve_degraded` outright.
+        """
         start = time.perf_counter()
         token = matrix_token(matrix)
-        response = self._resolve_fast(matrix, token)
-        if response is None:
-            response = self._resolve_search(matrix, token)
+        response = self._resolve_tier(matrix, token, max_tier)
         response.wall_time_s = time.perf_counter() - start
         return response
 
     def resolve_batch(
-        self, matrices: Iterable[SparseMatrix]
+        self, matrices: Iterable[SparseMatrix], max_tier: int = TIER_SEARCH
     ) -> List[ServeResponse]:
         """Resolve many requests; responses come back in request order.
 
@@ -250,13 +324,26 @@ class Frontend:
         sequential :meth:`resolve` calls would.  Batch output is therefore
         identical to sequential resolution, deterministic for any
         ``jobs`` setting.
+
+        One request's failure never loses the rest of the batch: a store
+        read that dies on a pool worker simply falls through to the
+        ordered loop, and there each request is re-resolved individually
+        down the degradation ladder (:attr:`fallback_policy`), bottoming
+        out at a ``DEGRADED`` answer.  The ``retried``/``degraded``
+        counters on :meth:`stats` surface how often that happened.
         """
         matrices = list(matrices)
         tokens = [matrix_token(m) for m in matrices]
 
         def exact(item: Tuple[SparseMatrix, Tuple]) -> Optional[ServeResponse]:
             t0 = time.perf_counter()
-            response = self._from_store(item[0], item[1])
+            try:
+                response = self._from_store(item[0], item[1])
+            except self.fallback_policy.retry_on:
+                # an injected (or real) store failure on a worker must
+                # not poison the batch: treat as a miss, the ordered
+                # loop below retries this request with the full ladder
+                return None
             if response is not None:
                 response.wall_time_s = time.perf_counter() - t0
             return response
@@ -272,12 +359,114 @@ class Frontend:
                 t0 = time.perf_counter()
                 # Re-check the exact tier too: an earlier miss in this
                 # loop may just have written this matrix (duplicates).
-                response = self._resolve_fast(matrix, token)
-                if response is None:
-                    response = self._resolve_search(matrix, token)
+                response = self._resolve_with_fallback(matrix, token, max_tier)
                 response.wall_time_s = time.perf_counter() - t0
             responses.append(response)
         return responses
+
+    def _resolve_tier(
+        self, matrix: SparseMatrix, token: Tuple, max_tier: int
+    ) -> ServeResponse:
+        """One pass down the tiers, capped at ``max_tier``.  Tier failures
+        propagate; :meth:`_resolve_with_fallback` adds the retry ladder."""
+        if max_tier <= TIER_DEGRADED:
+            return self.resolve_degraded(matrix, token)
+        response = self._from_store(matrix, token)
+        if response is not None:
+            self._count("exact_hits")
+            return response
+        if max_tier >= TIER_NEIGHBOUR:
+            response = self._from_neighbour(matrix, token)
+            if response is not None:
+                self._count("neighbour_hits")
+                return response
+        if max_tier >= TIER_SEARCH:
+            return self._resolve_search(matrix, token)
+        return self.resolve_degraded(matrix, token)
+
+    def _resolve_with_fallback(
+        self, matrix: SparseMatrix, token: Tuple, max_tier: int
+    ) -> ServeResponse:
+        """Walk the degradation ladder under :attr:`fallback_policy`.
+
+        Each retryable infrastructure failure (store I/O, lock timeout)
+        burns one policy attempt *and* one tier: a request that failed at
+        the search tier retries capped at neighbour, then exact, then
+        answers degraded.  Non-retryable exceptions propagate — a
+        programming error must never be papered over as degradation.
+        """
+        policy = self.fallback_policy
+        tier = max_tier
+        for attempt in range(policy.attempts):
+            try:
+                return self._resolve_tier(matrix, token, tier)
+            except policy.retry_on:
+                self._count("retried")
+                tier -= 1
+                if tier <= TIER_DEGRADED or attempt + 1 >= policy.attempts:
+                    break
+                time.sleep(policy.delay(attempt))
+        return self.resolve_degraded(matrix, token)
+
+    def resolve_degraded(
+        self, matrix: SparseMatrix, token: Optional[Tuple] = None
+    ) -> ServeResponse:
+        """The explicit DEGRADED answer: best known artifact, zero
+        evaluation, never raises.
+
+        Preference order: the nearest stored donor's design *unverified*
+        (``gflops`` is the donor's measurement on the donor's matrix, not
+        this one — ``note`` says so, and nothing is written back), else an
+        unmeasured CSR baseline graph (the paper evaluation's universal
+        fallback format), else a graph-less answer carrying only the
+        explanation.  ``ok`` stays True: the caller got the best artifact
+        the degraded service could produce, explicitly flagged.
+        """
+        if token is None:
+            token = matrix_token(matrix)
+        graph = None
+        gflops = 0.0
+        donor_name = ""
+        note = ""
+        try:
+            donor = self._nearest(matrix, token)
+        except Exception:
+            donor = None
+        if donor is not None:
+            try:
+                graph = OperatorGraph.from_dict(donor["graph"])
+                donor_name = str(
+                    donor.get("name") or donor.get("matrix_digest", "")
+                )
+                gflops = float(donor.get("best_gflops", 0.0))
+                note = (
+                    f"degraded: unverified transfer from {donor_name!r}; "
+                    "gflops is the donor's measurement, not this matrix's"
+                )
+            except (KeyError, TypeError, ValueError, GraphValidationError):
+                graph = None
+        if graph is None:
+            try:
+                from repro.baselines import get_baseline
+
+                graph = get_baseline("CSR").graph(matrix)
+                gflops = 0.0
+                note = "degraded: unmeasured CSR baseline graph"
+            except Exception:
+                graph = None
+                note = (
+                    "degraded: no stored donor and no applicable baseline; "
+                    "answer carries no design"
+                )
+        self._count("degraded")
+        return ServeResponse(
+            matrix_name=matrix.name,
+            source="degraded",
+            gflops=gflops,
+            graph=graph,
+            neighbour_of=donor_name,
+            note=note,
+        )
 
     # ------------------------------------------------------------------
     # Tier 1 + 2 (cheap; safe to run on pool workers)

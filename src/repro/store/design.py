@@ -34,7 +34,16 @@ replaced by identical content.  A store whose header schema does not match
 this revision raises :class:`~repro.store.errors.StoreVersionError` up
 front; an individually corrupt or truncated entry file is treated as a
 cache miss (counted in :attr:`StoreStats.corrupt`) so serving degrades
-instead of failing, and ``verify``/``gc`` surface and prune it.
+instead of failing.  On first detection the damaged file is *quarantined*
+— moved to a ``corrupt/`` sibling directory (``STORE-QUARANTINED`` in the
+:mod:`repro.errors` taxonomy) — so the store never re-reads known damage,
+a later write of the same key heals cleanly, and the evidence survives for
+post-mortems; ``verify --repair`` quarantines in bulk and ``gc`` prunes.
+
+An alternative *journal* backend with the same read/write surface —
+append-only log, multi-writer file locking, crash recovery, compaction —
+lives in :mod:`repro.store.journal`; :func:`repro.store.open_store`
+dispatches on the header's ``backend`` field.
 """
 
 from __future__ import annotations
@@ -47,6 +56,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.designer import DesignLeaf
+from repro.reliability.faults import FaultInjector, FaultPlan
 from repro.store.codec import (
     decode_leaves,
     encode_leaves,
@@ -55,12 +65,85 @@ from repro.store.codec import (
 )
 from repro.store.errors import StoreError, StoreVersionError
 
-__all__ = ["DesignStore", "StoreStats", "EntryStatus", "SCHEMA_VERSION"]
+__all__ = [
+    "DesignStore",
+    "StoreStats",
+    "EntryStatus",
+    "SCHEMA_VERSION",
+    "design_entry_doc",
+    "result_entry_doc",
+    "result_meta_doc",
+]
 
 SCHEMA_VERSION = 1
 
 _HEADER = "store.json"
 _KINDS = ("designs", "results")
+_QUARANTINE = "corrupt"
+_CLAIMS = "claims"
+
+
+def _matrix_fields(token: Tuple) -> Dict[str, object]:
+    name, n_rows, n_cols, nnz, digest = token
+    return {
+        "name": name,
+        "n_rows": int(n_rows),
+        "n_cols": int(n_cols),
+        "nnz": int(nnz),
+        "digest": digest,
+    }
+
+
+def design_entry_doc(
+    token: Tuple, signature: Tuple, arch: str, payload: Dict[str, object]
+) -> Dict[str, object]:
+    """The canonical design entry document.
+
+    Shared by both backends — the directory store writes it as one file,
+    the journal store embeds it in a log record — so stored *content* is
+    bit-identical regardless of backend (asserted by the differential
+    suite in ``tests/test_journal_store.py``).
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "design",
+        "arch": arch,
+        "matrix": _matrix_fields(token),
+        "signature": repr(signature),
+        "payload_digest": payload_digest(payload),
+        "payload": payload,
+    }
+
+
+def result_entry_doc(token: Tuple, arch: str, record: Dict) -> Dict[str, object]:
+    """The canonical result entry document (see :func:`design_entry_doc`)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "result",
+        "arch": arch,
+        "matrix": _matrix_fields(token),
+        "payload_digest": payload_digest(record),
+        "payload": record,
+    }
+
+
+def result_meta_doc(arch: Optional[str], record: Dict) -> Dict:
+    """Lightweight nearest-neighbour metadata derived from one record."""
+    meta = {
+        "schema": SCHEMA_VERSION,
+        "arch": arch,
+        "name": record.get("name"),
+        "matrix_digest": record.get("matrix_digest"),
+        "features": record.get("features"),
+        "best_gflops": record.get("best_gflops"),
+        "via": record.get("via", "search"),
+        "has_graph": record.get("graph") is not None,
+    }
+    if "workload" in record:
+        # Absent == spmv (matching the record convention), so sidecars
+        # of pre-workload-layer stores stay byte-identical.
+        meta["workload"] = record["workload"]
+    return meta
 
 
 @dataclass(frozen=True)
@@ -76,6 +159,7 @@ class StoreStats:
     result_misses: int = 0
     result_writes: int = 0
     corrupt: int = 0
+    quarantined: int = 0
 
     def since(self, other: "StoreStats") -> "StoreStats":
         return StoreStats(
@@ -86,6 +170,7 @@ class StoreStats:
             result_misses=self.result_misses - other.result_misses,
             result_writes=self.result_writes - other.result_writes,
             corrupt=self.corrupt - other.corrupt,
+            quarantined=self.quarantined - other.quarantined,
         )
 
 
@@ -111,10 +196,23 @@ class _CorruptEntry(Exception):
 class DesignStore:
     """On-disk content-addressed store of designs and search results."""
 
-    def __init__(self, path: str | os.PathLike, create: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        create: bool = True,
+        faults: Optional[FaultPlan | FaultInjector] = None,
+    ) -> None:
         self.path = os.fspath(path)
         self._lock = threading.Lock()
         self._stats = StoreStats()
+        #: chaos seam — a :class:`~repro.reliability.faults.FaultInjector`
+        #: consulted on entry reads/writes (None in production)
+        self.faults = (
+            faults.injector() if isinstance(faults, FaultPlan) else faults
+        )
+        #: ``(relative filename, reason)`` per entry this handle moved to
+        #: ``corrupt/`` — the evidence behind ``STORE-QUARANTINED`` lines
+        self.quarantine_log: List[Tuple[str, str]] = []
         header_path = os.path.join(self.path, _HEADER)
         if os.path.isfile(self.path):
             raise StoreError(
@@ -138,6 +236,12 @@ class DesignStore:
                     f"{header.get('schema')!r}, this revision reads "
                     f"{SCHEMA_VERSION}; rebuild the store (or read it with "
                     "the revision that wrote it)"
+                )
+            if header.get("backend", "dir") != "dir":
+                raise StoreError(
+                    f"design store {self.path!r} uses the "
+                    f"{header.get('backend')!r} backend; open it with "
+                    "repro.store.open_store (or the matching backend class)"
                 )
         elif create:
             os.makedirs(self.path, exist_ok=True)
@@ -181,6 +285,9 @@ class DesignStore:
         )
 
     def _atomic_write(self, path: str, document: Dict) -> None:
+        if self.faults is not None:
+            self.faults.maybe_slow("write", path)
+            self.faults.maybe_io_error("write", path)
         directory = os.path.dirname(path)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
@@ -196,6 +303,9 @@ class DesignStore:
     def _read_entry(self, path: str, kind: str) -> Dict:
         """Load + integrity-check one entry file; raises _CorruptEntry."""
         try:
+            if self.faults is not None:
+                self.faults.maybe_slow("read", path)
+                self.faults.maybe_io_error("read", path)
             with open(path, "r") as fh:
                 entry = json.load(fh)
         except OSError as exc:
@@ -217,17 +327,6 @@ class DesignStore:
         if payload_digest(entry["payload"]) != entry["payload_digest"]:
             raise _CorruptEntry("payload digest mismatch (truncated or edited)")
         return entry
-
-    @staticmethod
-    def _matrix_fields(token: Tuple) -> Dict[str, object]:
-        name, n_rows, n_cols, nnz, digest = token
-        return {
-            "name": name,
-            "n_rows": int(n_rows),
-            "n_cols": int(n_cols),
-            "nnz": int(nnz),
-            "digest": digest,
-        }
 
     # ------------------------------------------------------------------
     # Design entries
@@ -259,21 +358,36 @@ class DesignStore:
                 outcome: Tuple[str, object] = ("error", str(payload["message"]))
             else:
                 outcome = ("ok", decode_leaves(payload["leaves"]))
-        except (_CorruptEntry, KeyError, TypeError, ValueError):
+        except (_CorruptEntry, KeyError, TypeError, ValueError) as exc:
             self._bump(design_misses=1, corrupt=1)
-            self._drop_corrupt(path)
+            self._quarantine(path, str(exc))
             return None
         self._bump(design_hits=1)
         return outcome
 
-    def _drop_corrupt(self, path: str) -> None:
-        """Unlink a corrupt entry so the caller's write-back can replace
-        it — otherwise first-writer-wins would pin the damage forever.
-        Best-effort: a read-only store just keeps treating it as a miss."""
+    def _quarantine(self, path: str, reason: str) -> bool:
+        """Move a corrupt entry to ``corrupt/`` on first detection.
+
+        Quarantining (rather than retrying the damage forever, or deleting
+        the evidence) clears the key — so the caller's write-back heals the
+        store — while keeping the damaged bytes for inspection.  A second
+        corruption of the same filename overwrites the earlier quarantined
+        copy: the most recent damage is the interesting one.  Best-effort:
+        a read-only store just keeps treating the entry as a miss.
+        """
+        rel = os.path.relpath(path, self.path)
         try:
-            os.unlink(path)
+            directory = os.path.join(self.path, _QUARANTINE)
+            os.makedirs(directory, exist_ok=True)
+            os.replace(path, os.path.join(directory, os.path.basename(path)))
         except OSError:
-            pass
+            return False
+        with self._lock:
+            self.quarantine_log.append((rel, reason))
+            self._stats = replace(
+                self._stats, quarantined=self._stats.quarantined + 1
+            )
+        return True
 
     def put_design(
         self,
@@ -300,18 +414,7 @@ class DesignStore:
             payload: Dict[str, object] = {"status": "error", "message": error}
         else:
             payload = {"status": "ok", "leaves": encode_leaves(leaves)}
-        self._atomic_write(
-            path,
-            {
-                "schema": SCHEMA_VERSION,
-                "kind": "design",
-                "arch": arch,
-                "matrix": self._matrix_fields(token),
-                "signature": repr(signature),
-                "payload_digest": payload_digest(payload),
-                "payload": payload,
-            },
-        )
+        self._atomic_write(path, design_entry_doc(token, signature, arch, payload))
         self._bump(design_writes=1)
 
     # ------------------------------------------------------------------
@@ -330,9 +433,9 @@ class DesignStore:
             entry = self._read_entry(path, "result")
             if entry.get("matrix", {}).get("digest") != token[-1]:
                 raise _CorruptEntry("matrix digest does not match key")
-        except _CorruptEntry:
+        except _CorruptEntry as exc:
             self._bump(result_misses=1, corrupt=1)
-            self._drop_corrupt(path)
+            self._quarantine(path, exc.reason)
             return None
         self._bump(result_hits=1)
         return entry["payload"]
@@ -349,14 +452,7 @@ class DesignStore:
         digest = self.result_digest(token, arch)
         self._atomic_write(
             self._entry_path("results", digest),
-            {
-                "schema": SCHEMA_VERSION,
-                "kind": "result",
-                "arch": arch,
-                "matrix": self._matrix_fields(token),
-                "payload_digest": payload_digest(record),
-                "payload": record,
-            },
+            result_entry_doc(token, arch, record),
         )
         self._atomic_write(
             self._meta_path(digest), self._meta_from_record(arch, record)
@@ -367,23 +463,9 @@ class DesignStore:
     def _meta_path(self, digest: str) -> str:
         return os.path.join(self.path, "results", f"{digest}.meta")
 
-    @staticmethod
-    def _meta_from_record(arch: Optional[str], record: Dict) -> Dict:
-        meta = {
-            "schema": SCHEMA_VERSION,
-            "arch": arch,
-            "name": record.get("name"),
-            "matrix_digest": record.get("matrix_digest"),
-            "features": record.get("features"),
-            "best_gflops": record.get("best_gflops"),
-            "via": record.get("via", "search"),
-            "has_graph": record.get("graph") is not None,
-        }
-        if "workload" in record:
-            # Absent == spmv (matching the record convention), so sidecars
-            # of pre-workload-layer stores stay byte-identical.
-            meta["workload"] = record["workload"]
-        return meta
+    # Kept as a method alias: the canonical builder is module-level so the
+    # journal backend derives identical metadata without a store handle.
+    _meta_from_record = staticmethod(result_meta_doc)
 
     def result_metas(self, arch: Optional[str] = None) -> List[Tuple[str, Dict]]:
         """``(digest, meta)`` per stored result — the cheap scan the
@@ -407,12 +489,12 @@ class DesignStore:
                 except (OSError, json.JSONDecodeError):
                     meta = None
             if meta is None:
+                entry_path = os.path.join(self.path, "results", name)
                 try:
-                    entry = self._read_entry(
-                        os.path.join(self.path, "results", name), "result"
-                    )
-                except _CorruptEntry:
+                    entry = self._read_entry(entry_path, "result")
+                except _CorruptEntry as exc:
                     self._bump(corrupt=1)
+                    self._quarantine(entry_path, exc.reason)
                     continue
                 meta = self._meta_from_record(entry.get("arch"), entry["payload"])
                 try:
@@ -434,8 +516,9 @@ class DesignStore:
             return None
         try:
             entry = self._read_entry(path, "result")
-        except _CorruptEntry:
+        except _CorruptEntry as exc:
             self._bump(corrupt=1)
+            self._quarantine(path, exc.reason)
             return None
         return entry["payload"]
 
@@ -447,8 +530,9 @@ class DesignStore:
             path = os.path.join(self.path, "results", name)
             try:
                 entry = self._read_entry(path, "result")
-            except _CorruptEntry:
+            except _CorruptEntry as exc:
                 self._bump(corrupt=1)
+                self._quarantine(path, exc.reason)
                 continue
             if arch is not None and entry.get("arch") != arch:
                 continue
@@ -518,9 +602,15 @@ class DesignStore:
                 )
         return out
 
-    def verify(self) -> List[EntryStatus]:
+    def verify(self, repair: bool = False) -> List[EntryStatus]:
         """Deep integrity check: :meth:`entries` plus payload decoding —
-        a design entry must also hydrate back into leaves."""
+        a design entry must also hydrate back into leaves.
+
+        With ``repair=True`` every failing entry is quarantined to
+        ``corrupt/`` on the spot (the ``store verify --repair`` CLI path),
+        exactly as a read path would on first detection; the returned
+        statuses still describe the damage found.
+        """
         out = []
         for status in self.entries():
             if status.ok and status.kind == "design":
@@ -533,7 +623,53 @@ class DesignStore:
                     status = replace(
                         status, ok=False, detail=f"payload will not hydrate: {exc}"
                     )
+            if repair and not status.ok:
+                kind_dir = "designs" if status.kind == "design" else "results"
+                self._quarantine(
+                    os.path.join(self.path, kind_dir, status.filename),
+                    status.detail,
+                )
             out.append(status)
+        return out
+
+    # ------------------------------------------------------------------
+    # Search claims (at-most-once execution for the resolver pool)
+    # ------------------------------------------------------------------
+    def claim_search(self, key: str) -> bool:
+        """Atomically claim one search execution; True iff we won it.
+
+        The resolver pool writes a claim *before* starting a fresh search
+        so a request re-dispatched after a worker death can prove a search
+        already started and degrade instead of running it again —
+        at-most-once search execution.  Claims are durable (they must
+        survive the claimant's crash); ``gc`` prunes them.
+        """
+        directory = os.path.join(self.path, _CLAIMS)
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{key_digest('claim', key)}.json")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as fh:
+            json.dump({"schema": SCHEMA_VERSION, "key": key}, fh)
+            fh.write("\n")
+        return True
+
+    def claims(self) -> List[str]:
+        """Every outstanding claim key (diagnostics / chaos assertions)."""
+        directory = os.path.join(self.path, _CLAIMS)
+        if not os.path.isdir(directory):
+            return []
+        out = []
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(directory, name), "r") as fh:
+                    out.append(str(json.load(fh)["key"]))
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                continue
         return out
 
     def gc(self) -> Tuple[List[str], List[str]]:
@@ -586,4 +722,11 @@ class DesignStore:
             )
             if not os.path.exists(entry_path):
                 os.unlink(os.path.join(results_dir, name))
+        # Claims are per-run execution fences; once no pool run is live
+        # they are residue, and gc is only run between serving sessions.
+        claims_dir = os.path.join(self.path, _CLAIMS)
+        if os.path.isdir(claims_dir):
+            for name in sorted(os.listdir(claims_dir)):
+                if name.endswith(".json"):
+                    os.unlink(os.path.join(claims_dir, name))
         return removed_corrupt, removed_unreferenced

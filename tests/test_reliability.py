@@ -1,0 +1,178 @@
+"""Reliability primitives: deterministic retry backoff and fault plans.
+
+Everything chaos-shaped in this repo rests on two properties checked
+here: (a) a :class:`RetryPolicy`'s backoff schedule is a pure function of
+its configuration — two runs sleep the same amounts; (b) a
+:class:`FaultPlan` decision is a pure function of ``(seed, site,
+context)`` — the same plan fires the same faults in every process, every
+run.  If either drifts, every chaos test in the suite becomes flaky.
+"""
+
+import pickle
+
+import pytest
+
+from repro.reliability.faults import FaultPlan
+from repro.reliability.retry import RetryError, RetryPolicy, call_with_retry
+
+
+class TestRetryPolicy:
+    def test_schedule_is_deterministic(self):
+        a = RetryPolicy(attempts=6, seed=7)
+        b = RetryPolicy(attempts=6, seed=7)
+        assert a.delays() == b.delays()
+        assert len(a.delays()) == 5  # attempts - 1 sleeps
+
+    def test_seed_changes_jitter_not_envelope(self):
+        a = RetryPolicy(attempts=5, seed=1, jitter=0.5)
+        b = RetryPolicy(attempts=5, seed=2, jitter=0.5)
+        assert a.delays() != b.delays()
+        for policy in (a, b):
+            for i, delay in enumerate(policy.delays()):
+                base = min(
+                    policy.max_delay_s,
+                    policy.base_delay_s * policy.multiplier**i,
+                )
+                assert base * (1 - policy.jitter) <= delay <= base * (
+                    1 + policy.jitter
+                )
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            attempts=10, base_delay_s=0.01, multiplier=2.0,
+            max_delay_s=0.05, jitter=0.0,
+        )
+        delays = policy.delays()
+        assert delays[0] == pytest.approx(0.01)
+        assert delays[1] == pytest.approx(0.02)
+        assert max(delays) == pytest.approx(0.05)  # capped
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay_s=-1.0)
+
+
+class TestCallWithRetry:
+    def test_sleeps_exactly_the_schedule_then_succeeds(self):
+        policy = RetryPolicy(attempts=4, seed=3)
+        failures = iter([OSError("a"), OSError("b")])
+        slept = []
+
+        def flaky():
+            try:
+                raise next(failures)
+            except StopIteration:
+                return "done"
+
+        out = call_with_retry(flaky, policy, sleep=slept.append)
+        assert out == "done"
+        assert slept == policy.delays()[:2]
+
+    def test_exhaustion_raises_retry_error_with_cause(self):
+        policy = RetryPolicy(attempts=3, seed=0)
+        slept = []
+        with pytest.raises(RetryError, match="3 attempt") as info:
+            call_with_retry(
+                lambda: (_ for _ in ()).throw(OSError("disk")),
+                policy,
+                describe="probe",
+                sleep=slept.append,
+            )
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last, OSError)
+        assert isinstance(info.value.__cause__, OSError)
+        assert slept == policy.delays()  # all attempts-1 sleeps happened
+
+    def test_non_allowlisted_exception_propagates_immediately(self):
+        policy = RetryPolicy(attempts=5, retry_on=(OSError,))
+        slept = []
+
+        def boom():
+            raise ValueError("programming error")
+
+        with pytest.raises(ValueError):
+            call_with_retry(boom, policy, sleep=slept.append)
+        assert slept == []  # never retried
+
+    def test_attempts_one_means_no_retry(self):
+        policy = RetryPolicy(attempts=1)
+        slept = []
+        with pytest.raises(RetryError):
+            call_with_retry(
+                lambda: (_ for _ in ()).throw(OSError()), policy,
+                sleep=slept.append,
+            )
+        assert slept == []
+
+
+class TestFaultPlan:
+    def test_rate_lookup_and_unknown_site(self):
+        plan = FaultPlan(worker_kill_rate=0.25)
+        assert plan.rate("worker_kill") == 0.25
+        assert plan.rate("io_error") == 0.0
+        with pytest.raises(ValueError, match="unknown fault site"):
+            plan.rate("meteor_strike")
+
+    def test_any_faults(self):
+        assert not FaultPlan().any_faults
+        assert FaultPlan(torn_write_rate=0.01).any_faults
+
+    def test_plan_is_picklable(self):
+        # the resolver pool ships plans to worker processes
+        plan = FaultPlan(seed=9, worker_kill_rate=0.2)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+
+class TestFaultInjector:
+    def test_decisions_replay_across_injectors(self):
+        plan = FaultPlan(seed=11, io_error_rate=0.3)
+        first = [plan.injector().decide("io_error", i) for i in range(200)]
+        second = [plan.injector().decide("io_error", i) for i in range(200)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_context_gives_fresh_decisions(self):
+        plan = FaultPlan(seed=0, worker_kill_rate=0.5)
+        injector = plan.injector()
+        decisions = {
+            (req, attempt): injector.decide("worker_kill", req, attempt)
+            for req in range(20)
+            for attempt in range(3)
+        }
+        # a retried request must not be doomed to repeat its fate forever:
+        # some request killed at attempt 0 survives a later attempt
+        assert any(
+            decisions[(req, 0)] and not decisions[(req, 1)]
+            for req in range(20)
+        )
+
+    def test_rate_zero_and_one(self):
+        never = FaultPlan(seed=1).injector()
+        always = FaultPlan(seed=1, lock_timeout_rate=1.0).injector()
+        assert not any(never.decide("lock_timeout", i) for i in range(50))
+        assert all(always.decide("lock_timeout", i) for i in range(50))
+
+    def test_empirical_rate_tracks_configured_rate(self):
+        plan = FaultPlan(seed=5, torn_write_rate=0.2)
+        injector = plan.injector()
+        hits = sum(injector.decide("torn_write", i) for i in range(4000))
+        assert 0.15 < hits / 4000 < 0.25
+        assert injector.fired["torn_write"] == hits
+
+    def test_maybe_io_error_raises_oserror(self):
+        injector = FaultPlan(io_error_rate=1.0).injector()
+        with pytest.raises(OSError, match="injected"):
+            injector.maybe_io_error("read", 1)
+        assert injector.fired == {"io_error": 1}
+
+    def test_sites_differ_under_one_seed(self):
+        plan = FaultPlan(seed=2, io_error_rate=0.5, worker_kill_rate=0.5)
+        injector = plan.injector()
+        io = [injector.decide("io_error", i) for i in range(64)]
+        kill = [injector.decide("worker_kill", i) for i in range(64)]
+        assert io != kill  # the site name is part of the hash

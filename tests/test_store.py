@@ -328,6 +328,48 @@ class TestCorruption:
         assert len(removed_corrupt) == 1
         assert all(s.ok for s in DesignStore(root).verify())
 
+    def test_corrupt_entry_quarantined_on_first_detection(self, tmp_path):
+        """A damaged entry is moved to ``corrupt/`` the first time it is
+        read — not retried forever, not silently deleted — and the key is
+        healed by the next write-back."""
+        matrix = banded_matrix(16, bandwidth=1, seed=0, name="m")
+        token = matrix_token(matrix)
+        root = tmp_path / "store"
+        store = DesignStore(root)
+        store.put_result(token, "A100", {"best_gflops": 1.0, "via": "search"})
+        digest = store.result_digest(token, "A100")
+        entry = root / "results" / f"{digest}.json"
+        entry.write_text("{broken")
+
+        reader = DesignStore(root)
+        assert reader.get_result(token, "A100") is None
+        assert not entry.exists()  # moved, not left to fail again
+        assert (root / "corrupt" / f"{digest}.json").exists()
+        assert reader.stats().quarantined == 1
+        ((rel, reason),) = reader.quarantine_log
+        assert rel == f"results/{digest}.json" and reason
+        # second read is a plain miss: no re-quarantine, no crash
+        assert reader.get_result(token, "A100") is None
+        assert reader.stats().quarantined == 1
+        # write-back heals the key
+        reader.put_result(token, "A100", {"best_gflops": 2.0, "via": "search"})
+        assert reader.get_result(token, "A100")["best_gflops"] == 2.0
+
+    def test_verify_repair_quarantines(self, tmp_path):
+        matrix = banded_matrix(16, bandwidth=1, seed=0, name="m")
+        token = matrix_token(matrix)
+        root = tmp_path / "store"
+        store = DesignStore(root)
+        store.put_result(token, "A100", {"best_gflops": 1.0, "via": "search"})
+        digest = store.result_digest(token, "A100")
+        (root / "results" / f"{digest}.json").write_text("not json")
+
+        checker = DesignStore(root)
+        flagged = [s for s in checker.verify(repair=True) if not s.ok]
+        assert len(flagged) == 1
+        assert (root / "corrupt" / f"{digest}.json").exists()
+        assert all(s.ok for s in DesignStore(root).verify())
+
     def test_gc_prunes_unreferenced_designs(self, tmp_path):
         """Designs with no finished result for their (matrix, arch) are
         partial-search residue; gc drops them and keeps referenced ones."""
