@@ -1,0 +1,192 @@
+"""Record (or CI-check) the sampler sample-efficiency baseline.
+
+Runs one standard-budget search per corpus matrix per sampler (annealer,
+qmc, tpe, dts) for the spmv and spmvt workloads, and writes per-sampler
+best GFLOPS + evals-to-best to ``BENCH_samplers.json`` at the repo root.
+Not a pytest module: run it directly.
+
+    PYTHONPATH=src python benchmarks/bench_sampler_eff.py
+
+Sample efficiency is counted in *full measurements* (history entries):
+successive-halving projections are the cheap rung and deliberately free.
+``evals_to_best`` is the first history iteration reaching the search's own
+final best; ``evals_to_match`` is the first iteration reaching 99% of the
+*annealer's* best on the same matrix (the ±1% equivalence band).
+
+``--check`` mode (the CI sampler-efficiency gate) re-runs the annealer and
+the gated sampler (tpe) and fails — without touching the committed JSON —
+unless on every workload the gated sampler (a) matches the annealer's best
+GFLOPS within 1% on every matrix and (b) needs at most ``--max-ratio``
+(default 0.5) of the annealer's evaluations to get there, summed over the
+corpus:
+
+    PYTHONPATH=src python benchmarks/bench_sampler_eff.py --check
+
+Every search is seeded and count-budgeted, so both modes are deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+
+from repro.gpu import A100
+from repro.search import SearchBudget, SearchEngine
+from repro.sparse import banded_matrix, lp_like_matrix, power_law_matrix
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_samplers.json")
+
+MATRICES = [
+    banded_matrix(768, bandwidth=4, seed=0, name="banded-768"),
+    power_law_matrix(1024, avg_degree=10, seed=4, name="powerlaw-1024"),
+    lp_like_matrix(400, seed=3, name="lp-400"),
+]
+
+WORKLOADS = ["spmv", "spmvt"]
+SAMPLERS = ["annealer", "qmc", "tpe", "dts"]
+
+#: the sampler the CI gate holds to the efficiency target.
+GATED_SAMPLER = "tpe"
+#: equivalence band: "matches the annealer" means within 1% of its best.
+MATCH_FRACTION = 0.99
+
+
+def _search_all(workload: str, sampler: str):
+    engine = SearchEngine(
+        A100,
+        budget=SearchBudget(),
+        seed=0,
+        workload=workload,
+        sampler=sampler,
+    )
+    with engine:
+        return engine.search_many(MATRICES)
+
+
+def _evals_to_reach(history, target: float):
+    """First history iteration with a valid measurement >= target."""
+    for rec in history:
+        if rec.valid and rec.gflops >= target:
+            return rec.iteration
+    return None
+
+
+def _sampler_rows(results, annealer_results):
+    """Per-matrix efficiency rows for one sampler on one workload."""
+    rows = []
+    for res, ann in zip(results, annealer_results):
+        target = MATCH_FRACTION * ann.best_gflops
+        rows.append({
+            "matrix": res.matrix_name,
+            "best_gflops": round(res.best_gflops, 3),
+            "evals_to_best": _evals_to_reach(res.history, res.best_gflops),
+            "evals_to_match": _evals_to_reach(res.history, target),
+            "total_evaluations": res.total_evaluations,
+            "sampler_pruned": res.sampler_pruned,
+            "matched_annealer": res.best_gflops >= target,
+        })
+    return rows
+
+
+def _gate(rows, annealer_rows, max_ratio: float):
+    """The CI acceptance: every matrix matched, and total evals-to-match
+    within ``max_ratio`` of the annealer's total evals-to-best."""
+    matched = all(r["matched_annealer"] for r in rows)
+    if not all(r["evals_to_match"] is not None for r in rows):
+        return {"matched": matched, "evals_ratio": None, "ok": False}
+    sampler_evals = sum(r["evals_to_match"] for r in rows)
+    annealer_evals = sum(r["evals_to_best"] for r in annealer_rows)
+    ratio = sampler_evals / annealer_evals if annealer_evals else None
+    return {
+        "matched": matched,
+        "sampler_evals_to_match": sampler_evals,
+        "annealer_evals_to_best": annealer_evals,
+        "evals_ratio": round(ratio, 3) if ratio is not None else None,
+        "ok": bool(matched and ratio is not None and ratio <= max_ratio),
+    }
+
+
+def _print_rows(workload: str, sampler: str, rows) -> None:
+    for r in rows:
+        print(f"  {workload:5s} {sampler:9s} {r['matrix']:>14s}: "
+              f"best {r['best_gflops']:8.2f}  "
+              f"to-best {str(r['evals_to_best']):>4s}  "
+              f"to-match {str(r['evals_to_match']):>4s}  "
+              f"evals {r['total_evaluations']:3d}  "
+              f"pruned {r['sampler_pruned']:3d}")
+
+
+def check(max_ratio: float) -> int:
+    """CI gate: the gated sampler must reach the annealer's best (within
+    1%) in at most ``max_ratio`` of its evaluations, per workload."""
+    failures = []
+    for workload in WORKLOADS:
+        annealer = _search_all(workload, "annealer")
+        annealer_rows = _sampler_rows(annealer, annealer)
+        gated = _sampler_rows(_search_all(workload, GATED_SAMPLER), annealer)
+        _print_rows(workload, "annealer", annealer_rows)
+        _print_rows(workload, GATED_SAMPLER, gated)
+        gate = _gate(gated, annealer_rows, max_ratio)
+        verdict = "ok" if gate["ok"] else "FAIL"
+        print(f"{workload}: {GATED_SAMPLER} matched={gate['matched']} "
+              f"evals-ratio={gate['evals_ratio']} "
+              f"(limit {max_ratio}) {verdict}")
+        if not gate["ok"]:
+            failures.append(workload)
+    if failures:
+        print(f"sampler-efficiency gate failed on: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the efficiency gate against a fresh "
+                             "run instead of re-recording the baseline")
+    parser.add_argument("--max-ratio", type=float, default=0.5,
+                        help="fail --check when the gated sampler needs "
+                             "more than this fraction of the annealer's "
+                             "evaluations to match its best")
+    args = parser.parse_args()
+    if args.check:
+        return check(args.max_ratio)
+
+    record = {
+        "recorded_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "budget": "SearchBudget() defaults",
+        "matrices": [m.name for m in MATRICES],
+        "match_fraction": MATCH_FRACTION,
+        "gated_sampler": GATED_SAMPLER,
+        "workloads": {},
+    }
+    for workload in WORKLOADS:
+        annealer_results = _search_all(workload, "annealer")
+        annealer_rows = _sampler_rows(annealer_results, annealer_results)
+        per_sampler = {"annealer": {"per_matrix": annealer_rows}}
+        for sampler in SAMPLERS[1:]:
+            rows = _sampler_rows(
+                _search_all(workload, sampler), annealer_results
+            )
+            per_sampler[sampler] = {
+                "per_matrix": rows,
+                "gate": _gate(rows, annealer_rows, max_ratio=0.5),
+            }
+        record["workloads"][workload] = per_sampler
+        for sampler, block in per_sampler.items():
+            _print_rows(workload, sampler, block["per_matrix"])
+
+    with open(OUT_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"baseline written to {os.path.abspath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

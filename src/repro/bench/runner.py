@@ -29,6 +29,7 @@ from repro.bench.store import ResultStore
 from repro.gpu.arch import GPUSpec
 from repro.search import SearchBudget, SearchEngine
 from repro.search.evaluation import matrix_token
+from repro.search.samplers import DEFAULT_SAMPLER_NAME
 from repro.sparse.collection import CorpusEntry
 from repro.sparse.matrix import SparseMatrix
 from repro.store.design import DesignStore
@@ -160,6 +161,12 @@ class CorpusRunner:
             # The default workload pins no key, so pre-workload-layer
             # result stores stay resumable and spmv configs byte-identical.
             config["workload"] = self.workload.name
+        if self.engine.sampler_cls.name != DEFAULT_SAMPLER_NAME:
+            # Same convention for the sampler: the default annealer pins
+            # no key, so pre-sampler-layer result stores stay resumable.
+            config["engine"]["sampler"] = self.engine.sampler_cls.name
+            if self.engine.sampler_seed is not None:
+                config["engine"]["sampler_seed"] = self.engine.sampler_seed
         return config
 
     @staticmethod
@@ -286,6 +293,11 @@ class CorpusRunner:
             # Same absent-key convention as the config: records from
             # pruning-off runs keep their exact historical bytes.
             record["search"]["static_pruned"] = result.static_pruned
+        if result.sampler != DEFAULT_SAMPLER_NAME:
+            # Absent keys == annealer: default-sampler records keep their
+            # exact historical bytes (GOLDEN_BENCH_DIGEST).
+            record["search"]["sampler"] = result.sampler
+            record["search"]["sampler_pruned"] = result.sampler_pruned
         if not self.workload.is_default:
             # Absent key == spmv: pre-workload-layer records (and spmv
             # records) keep their exact historical bytes.

@@ -119,6 +119,28 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+def _sampler_arg(value: str):
+    """argparse type for ``--sampler``: a bad name errors with the list of
+    registered samplers instead of surfacing a KeyError traceback."""
+    from repro.search.samplers import get_sampler
+
+    try:
+        return get_sampler(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _sampler_seed_arg(value: str) -> int:
+    """argparse type for ``--sampler-seed``: rejects non-integers with a
+    clean usage error (mirrors ``--jobs``)."""
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer sampler seed, got {value!r}"
+        ) from None
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     specs: List[str] = args.matrix
     matrices = [_load_matrix(spec) for spec in specs]
@@ -132,6 +154,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         enable_extensions=args.extensions,
         store=store,
         workload=args.workload,
+        sampler=args.sampler,
+        sampler_seed=args.sampler_seed,
     )
     try:
         if len(matrices) == 1:
@@ -168,6 +192,9 @@ def _search_single(engine, matrix, spec, gpu, args) -> int:
           f"{result.total_evaluations} evaluations "
           f"({result.design_cache_hits} hits / "
           f"{result.design_cache_misses} misses)")
+    if result.sampler != "annealer":
+        print(f"sampler: {result.sampler}, {result.sampler_pruned} "
+              "candidates pruned by successive halving")
     if engine.store is not None:
         print(f"design store: {result.store_hits} designs loaded / "
               f"{result.store_misses} designed ({args.store})")
@@ -198,7 +225,7 @@ def _search_single(engine, matrix, spec, gpu, args) -> int:
 
 def _render_profile(result) -> str:
     """Stage-timing breakdown of one search (``--profile``)."""
-    stages = ["design", "assembly", "analysis", "verify", "ml"]
+    stages = ["design", "assembly", "project", "analysis", "verify", "ml"]
     times = dict(result.stage_times)
     accounted = sum(times.get(s, 0.0) for s in stages)
     rows = [[s, f"{times.get(s, 0.0) * 1e3:.1f}"] for s in stages]
@@ -709,6 +736,16 @@ def build_parser() -> argparse.ArgumentParser:
                         + ", ".join(sorted(WORKLOADS))
                         + " (default: spmv)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sampler", type=_sampler_arg, default=None,
+                   metavar="NAME",
+                   help="candidate sampler: annealer (default, the paper's "
+                        "three-level loop), qmc, tpe, or dts; adaptive "
+                        "samplers add successive-halving eval pruning")
+    p.add_argument("--sampler-seed", type=_sampler_seed_arg, default=None,
+                   metavar="S",
+                   help="seed of the adaptive samplers' private RNG "
+                        "(default: derived from --seed; the annealer "
+                        "ignores it)")
     p.add_argument("--out", default=None, help="export artifact directory")
     p.add_argument("--store", default=None, metavar="DIR",
                    help="persistent design store: designs/results are "

@@ -7,6 +7,12 @@ model (the paper uses XGBoost; :mod:`repro.search.mlmodel` is a from-scratch
 equivalent).  Simulated annealing terminates the first two levels early and
 pruning rules ban operators that cannot pay off for the input's sparsity
 pattern.
+
+Candidate selection is pluggable (:mod:`repro.search.samplers`): the
+annealer above is the default :class:`Sampler`, with quasi-Monte-Carlo,
+TPE and dueling-bandit alternatives selected via ``SearchEngine(sampler=
+...)`` / ``--sampler``; adaptive samplers add successive-halving eval
+pruning (:class:`SuccessiveHalvingPruner`).
 """
 
 from repro.search.engine import SearchBudget, SearchEngine, SearchResult, EvalRecord
@@ -18,8 +24,24 @@ from repro.search.evaluation import (
     StageTimings,
 )
 from repro.search.mlmodel import GradientBoostedTrees, RegressionTree
-from repro.search.annealing import AnnealingSchedule
-from repro.search.pruning import PruningRules, default_rules
+from repro.search.annealing import AnnealerSampler, AnnealingSchedule
+from repro.search.pruning import (
+    PruningRules,
+    SuccessiveHalvingPruner,
+    default_rules,
+)
+from repro.search.samplers import (
+    AskBatch,
+    DTSSampler,
+    QMCSampler,
+    Sampler,
+    ScrambledSobol,
+    SearchSpace,
+    TPESampler,
+    get_sampler,
+    register_sampler,
+    sampler_names,
+)
 from repro.search.space import StructureSampler, enumerate_param_grid
 
 __all__ = [
@@ -35,8 +57,20 @@ __all__ = [
     "GradientBoostedTrees",
     "RegressionTree",
     "AnnealingSchedule",
+    "AnnealerSampler",
     "PruningRules",
+    "SuccessiveHalvingPruner",
     "default_rules",
     "StructureSampler",
     "enumerate_param_grid",
+    "Sampler",
+    "AskBatch",
+    "SearchSpace",
+    "ScrambledSobol",
+    "QMCSampler",
+    "TPESampler",
+    "DTSSampler",
+    "get_sampler",
+    "register_sampler",
+    "sampler_names",
 ]

@@ -48,15 +48,23 @@ from repro.search.evaluation import (
 )
 from repro.search.mlmodel import GradientBoostedTrees, mean_absolute_deviation
 from repro.store.design import DesignStore
-from repro.search.pruning import PruningRules, default_rules
+from repro.search.pruning import (
+    PruningRules,
+    SuccessiveHalvingPruner,
+    default_rules,
+)
+from repro.search.samplers import (
+    DEFAULT_SAMPLER_NAME,
+    Sampler,
+    SearchSpace,
+    get_sampler,
+)
 from repro.search.space import (
     SampledStructure,
-    StructureSampler,
     enumerate_param_grid,
     features_for,
     graph_with_params,
     param_slots,
-    seed_structures,
 )
 from repro.sparse.matrix import SparseMatrix
 from repro.staticcheck.diagnostics import Verdict
@@ -165,6 +173,15 @@ class SearchResult:
     #: spent on them (see :mod:`repro.staticcheck`); they consume no
     #: entry in ``history`` and no slot of ``max_total_evals``.
     static_pruned: int = 0
+    #: name of the sampler that drove this search (``"annealer"`` is the
+    #: legacy default).
+    sampler: str = DEFAULT_SAMPLER_NAME
+    #: candidates dropped by successive-halving eval pruning: they lost a
+    #: cheap cost-projection rung to a fully-measured valid winner, so no
+    #: full measurement (and no ``history`` entry) was spent on them.
+    #: Always 0 for the default annealer (it predates pruning and stays
+    #: byte-identical).
+    sampler_pruned: int = 0
 
     @property
     def best_time_s(self) -> float:
@@ -206,6 +223,7 @@ class _SearchState:
     #: matrix facts backing static pre-eval pruning (None = pruning off).
     facts: Optional[MatrixFacts] = None
     static_pruned: int = 0
+    sampler_pruned: int = 0
 
     def time_up(self) -> bool:
         return (
@@ -240,6 +258,9 @@ class SearchEngine:
         runtime: Optional[EvaluationRuntime] = None,
         store: Optional[DesignStore] = None,
         workload: Optional[Workload] = None,
+        sampler: Optional[object] = None,
+        sampler_seed: Optional[int] = None,
+        enable_sampler_pruning: bool = True,
     ) -> None:
         self.gpu = gpu
         self.budget = budget or SearchBudget()
@@ -266,6 +287,20 @@ class SearchEngine:
         #: shape its chain menu to the workload.  Off reproduces the
         #: pre-verifier search histories byte for byte.
         self.enable_static_pruning = enable_static_pruning
+        #: candidate sampler driving the ask/tell loop (name or class; see
+        #: :mod:`repro.search.samplers`).  The default annealer reproduces
+        #: the legacy engine behaviour byte for byte.
+        self.sampler_cls = get_sampler(sampler)
+        #: seed of the adaptive samplers' private RNG; None derives it
+        #: from the per-search seed (the annealer draws from the engine
+        #: RNG regardless, so this only affects qmc/tpe/dts).
+        self.sampler_seed = sampler_seed
+        #: successive-halving eval pruning for samplers that opt in
+        #: (``Sampler.prunes``); losing candidates are dropped after a
+        #: cheap cost-projection rung and counted in
+        #: ``SearchResult.sampler_pruned``.
+        self.enable_sampler_pruning = enable_sampler_pruning
+        self.sh_pruner = SuccessiveHalvingPruner()
         self.builder = KernelBuilder(
             compressor=ModelDrivenCompressor(), workload=self.workload
         )
@@ -345,13 +380,30 @@ class SearchEngine:
         banned = (
             self.pruning.ban_list(matrix.stats) if self.enable_pruning else set()
         )
-        sampler = StructureSampler(
-            banned=banned,
-            seed=int(rng.integers(2**31)),
+        space = SearchSpace(
+            banned=frozenset(banned),
             extensions=self.enable_extensions,
-            workload=self.workload if self.enable_static_pruning else None,
+            seeding=self.enable_seeding,
+            budget=self.budget,
+            shaping_workload=(
+                self.workload if self.enable_static_pruning else None
+            ),
+            annealing_termination=self.enable_pruning,
+            annealing_template=self.annealing,
         )
-        schedule = self.annealing.clone()
+        sampler: Sampler = self.sampler_cls()
+        # The annealer draws its structure-sampler seed from ``rng`` inside
+        # begin() — the first draw of the legacy engine loop, preserved.
+        sampler.begin(
+            space,
+            rng,
+            seed=(
+                self.sampler_seed
+                if self.sampler_seed is not None
+                else (self.seed if seed is None else seed)
+            ),
+        )
+        prune = sampler.prunes and self.enable_sampler_pruning
 
         x = self.workload.make_operand(matrix)
         reference = self.workload.reference(matrix, x)
@@ -369,65 +421,43 @@ class SearchEngine:
             ),
         )
 
-        incumbent_score = 0.0
-        seen_structures: Set[Tuple] = set()
         structure_store: Dict[Tuple, SampledStructure] = {}
         structures_tried = 0
 
-        # Level 1 visits the source-format archetypes first (the search
-        # space contains every format of Table II by construction), then
-        # explores random machine designs.
-        seeds = (
-            seed_structures(banned, extensions=self.enable_extensions)
-            if self.enable_seeding
-            else []
-        )
-
-        # ---------------- Levels 1 + 2 ----------------
-        while (
-            structures_tried < self.budget.max_structures
-            and not state.out_of_budget()
-        ):
-            # Paper footnote 10: the "no pruning" baseline removes simulated
-            # annealing too, so early termination is part of the pruned
-            # configuration.
-            if self.enable_pruning and schedule.should_terminate():
-                break
-            proposal = None
-            while seeds:
-                candidate = seeds.pop(0)
-                if candidate.signature not in seen_structures:
-                    proposal = candidate
-                    break
-            if proposal is None:
-                proposal = self._propose(sampler, seen_structures)
-            if proposal is None:
-                break  # structure space (as pruned) exhausted
-            seen_structures.add(proposal.signature)
-            structure_store[proposal.signature] = proposal
-            structures_tried += 1
-
-            assignments = enumerate_param_grid(
-                proposal.graph,
-                proposal.locks,
-                level="coarse",
-                cap=self.budget.coarse_evals_per_structure,
-                rng=rng,
-            )
-            structure_best = self._measure_batch(
-                matrix, proposal, assignments, state, level="coarse"
-            )
-
-            improved = structure_best > incumbent_score
-            if schedule.accept(structure_best, incumbent_score, rng):
-                incumbent_score = max(incumbent_score, structure_best)
-            schedule.step(improved)
+        # ---------------- Levels 1 + 2: the ask/tell loop ----------------
+        # The sampler owns *which* candidates to try (structures and
+        # parameter assignments); the engine owns budgets, static pruning,
+        # measurement and history recording.
+        while not state.out_of_budget():
+            batches = sampler.ask(state.history)
+            if batches is None:
+                break  # sampler done (terminated, exhausted, or converged)
+            records_per_batch = []
+            for batch in batches:
+                if batch.proposal.signature not in structure_store:
+                    structure_store[batch.proposal.signature] = batch.proposal
+                    structures_tried += 1
+                records_per_batch.append(
+                    self._measure_batch(
+                        matrix,
+                        batch.proposal,
+                        batch.assignments,
+                        state,
+                        level=batch.level,
+                        prune=prune,
+                    )
+                )
+            sampler.tell(batches, records_per_batch)
 
         coarse_iterations = state.evals
 
         # ---------------- Level 3: ML interpolation ----------------
         ml_mad: Optional[float] = None
-        if state.best_graph is not None and not state.out_of_budget():
+        if (
+            sampler.uses_ml_level
+            and state.best_graph is not None
+            and not state.out_of_budget()
+        ):
             ml_mad = self._ml_level(matrix, state, structure_store, rng)
 
         designer_runs = self.builder.designer.executions - designer_before
@@ -474,17 +504,9 @@ class SearchEngine:
             workload=self.workload.name,
             workload_k=self.workload.k,
             static_pruned=state.static_pruned,
+            sampler=self.sampler_cls.name,
+            sampler_pruned=state.sampler_pruned,
         )
-
-    # ------------------------------------------------------------------
-    def _propose(
-        self, sampler: StructureSampler, seen: Set[Tuple], max_attempts: int = 40
-    ) -> Optional[SampledStructure]:
-        for _ in range(max_attempts):
-            proposal = sampler.sample()
-            if proposal.signature not in seen:
-                return proposal
-        return None
 
     # ------------------------------------------------------------------
     def _measure_batch(
@@ -494,19 +516,20 @@ class SearchEngine:
         assignments: Sequence[Dict],
         state: _SearchState,
         level: str,
-    ) -> float:
+        prune: bool = False,
+    ) -> List[EvalRecord]:
         """Evaluate a structure's parameter assignments as one batch.
 
-        The batch is truncated to the remaining evaluation budget up front
-        (so ``max_total_evals`` holds under any worker count) and results
-        fold into the search state in submission order, keeping histories
-        byte-identical between serial and pooled execution.  Returns the
-        best GFLOPS seen in the batch.
-
         With static pruning on, assignments whose reduction chain the
-        verifier refutes for this matrix+workload are dropped before the
-        budget truncation — they consume no evaluation slot and leave no
+        verifier refutes for this matrix+workload are dropped before
+        anything else — they consume no evaluation slot and leave no
         history record, only the ``static_pruned`` counter.
+
+        With ``prune`` set (adaptive samplers), survivors of a cheap
+        successive-halving cost-projection tournament are fully measured
+        first and the losers are skipped entirely once a valid winner
+        exists (``sampler_pruned``); otherwise every candidate is
+        measured.  Returns the new history records, in submission order.
         """
         candidates = list(assignments)
         if state.facts is not None:
@@ -521,36 +544,107 @@ class SearchEngine:
                 else:
                     kept.append(assignment)
             candidates = kept
+        if prune and len(candidates) > self.sh_pruner.min_survivors:
+            return self._measure_pruned(matrix, proposal, candidates, state, level)
+        return self._measure_list(matrix, proposal, candidates, state, level)
+
+    # ------------------------------------------------------------------
+    def _measure_pruned(
+        self,
+        matrix: SparseMatrix,
+        proposal: SampledStructure,
+        candidates: List[Dict],
+        state: _SearchState,
+        level: str,
+    ) -> List[EvalRecord]:
+        """Successive-halving measurement (see
+        :class:`~repro.search.pruning.SuccessiveHalvingPruner`).
+
+        Every candidate runs the cheap rung — the analytic cost projection
+        of :meth:`StagedEvaluator.project`, no functional execution or
+        verification — and the halving tournament on projected scores
+        groups candidates into waves: the final-rung survivors first, then
+        the per-rung eliminated groups in descending projection order.
+        Wave 0 is fully measured; later waves run only while no valid
+        measurement exists (projection failures and invalid designs score
+        0, so an all-invalid survivor wave falls through to the next
+        group).  Once a wave yields a valid winner, the remaining waves
+        are dropped and counted in ``sampler_pruned`` — lossless on this
+        simulator, where a valid candidate's measured GFLOPS equals its
+        projection, so no pruned candidate could have beaten the winner.
+        """
+        scores = []
+        for assignment in candidates:
+            graph = graph_with_params(proposal.graph, assignment, proposal.locks)
+            scores.append(
+                self.evaluator.project(
+                    matrix, graph, self.gpu, self.workload, token=state.token
+                )
+            )
+        waves = self.sh_pruner.waves(scores)
+        records: List[EvalRecord] = []
+        for index, wave in enumerate(waves):
+            if index > 0 and any(r.valid and r.gflops > 0 for r in records):
+                state.sampler_pruned += sum(len(w) for w in waves[index:])
+                break
+            if state.out_of_budget():
+                break
+            records.extend(
+                self._measure_list(
+                    matrix,
+                    proposal,
+                    [candidates[i] for i in wave],
+                    state,
+                    level,
+                )
+            )
+        return records
+
+    # ------------------------------------------------------------------
+    def _measure_list(
+        self,
+        matrix: SparseMatrix,
+        proposal: SampledStructure,
+        candidates: Sequence[Dict],
+        state: _SearchState,
+        level: str,
+    ) -> List[EvalRecord]:
+        """Fully measure candidates as one ordered batch.
+
+        The batch is truncated to the remaining evaluation budget up front
+        (so ``max_total_evals`` holds under any worker count) and results
+        fold into the search state in submission order, keeping histories
+        byte-identical between serial and pooled execution.
+        """
         room = self.budget.max_total_evals - state.evals
-        batch = candidates[: max(0, room)]
+        batch = list(candidates)[: max(0, room)]
 
         def run(assignment: Dict):
             return self._evaluate(matrix, proposal, assignment, state)
 
         results = self.runtime.map(run, batch, stop=state.time_up)
 
-        batch_best = 0.0
+        records: List[EvalRecord] = []
         for assignment, (gflops, program, error) in zip(batch, results):
             state.evals += 1
-            state.history.append(
-                EvalRecord(
-                    iteration=state.evals,
-                    structure_sig=proposal.signature,
-                    assignment=dict(assignment),
-                    gflops=gflops,
-                    valid=error == "",
-                    level=level,
-                    error=error,
-                )
+            record = EvalRecord(
+                iteration=state.evals,
+                structure_sig=proposal.signature,
+                assignment=dict(assignment),
+                gflops=gflops,
+                valid=error == "",
+                level=level,
+                error=error,
             )
-            batch_best = max(batch_best, gflops)
+            state.history.append(record)
+            records.append(record)
             if gflops > state.best_gflops:
                 state.best_gflops = gflops
                 state.best_graph = graph_with_params(
                     proposal.graph, assignment, proposal.locks
                 )
                 state.best_program = program
-        return batch_best
+        return records
 
     # ------------------------------------------------------------------
     def _evaluate(

@@ -51,10 +51,13 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.designer import DesignError, DesignLeaf
-from repro.core.graph import OperatorGraph
-from repro.core.kernel.builder import KernelBuilder, design_signature
+from repro.core.graph import GraphValidationError, OperatorGraph
+from repro.core.kernel.builder import BuildError, KernelBuilder, design_signature
 from repro.core.kernel.program import GeneratedProgram
 from repro.gpu.analysis import LeafAnalysisCache, content_digest
+from repro.gpu.arch import GPUSpec
+from repro.gpu.cost import CostModel
+from repro.gpu.executor import PlanValidationError, plan_cost_inputs
 from repro.sparse.matrix import SparseMatrix
 from repro.store.design import DesignStore
 
@@ -340,6 +343,52 @@ class StagedEvaluator:
         )
         self.timings.add("assembly", time.perf_counter() - t0)
         return program
+
+    def project(
+        self,
+        matrix: SparseMatrix,
+        graph: OperatorGraph,
+        gpu: GPUSpec,
+        workload=None,
+        token: Optional[Tuple] = None,
+    ) -> float:
+        """Cheap successive-halving rung: projected GFLOPS of a candidate.
+
+        Builds the candidate (design + assembly, both cached) and runs
+        *only* the analytic cost model over its plans — no functional
+        execution and no numeric verification, which is where candidate
+        evaluation spends its time.  The GFLOPS formula mirrors
+        :meth:`GeneratedProgram.run` (kernels launch back-to-back), so a
+        valid candidate's projection equals its measured score on this
+        simulator.  Candidates that fail to build or whose plans don't
+        validate project 0.0 — exactly the candidates a full measurement
+        would score 0.  Projections warm the analysis cache, so the
+        rung's cost-input work is reused when a survivor is measured.
+        """
+        t0 = time.perf_counter()
+        try:
+            program = self.build(matrix, graph, token=token)
+            total = 0.0
+            for unit in program.kernels:
+                inputs = plan_cost_inputs(unit.plan, gpu, workload)
+                total += CostModel(gpu).evaluate(inputs).total_s
+        except (
+            DesignError,
+            BuildError,
+            PlanValidationError,
+            GraphValidationError,
+        ):
+            return 0.0
+        finally:
+            self.timings.add("project", time.perf_counter() - t0)
+        if total <= 0:
+            return 0.0
+        wl_flops = (
+            workload.flops(program.useful_nnz)
+            if workload is not None
+            else 2.0 * program.useful_nnz
+        )
+        return float(wl_flops / total / 1e9)
 
 
 class EvaluationRuntime:

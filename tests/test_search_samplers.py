@@ -1,0 +1,351 @@
+"""Pluggable-sampler tests: registry UX, annealer byte-identity behind the
+ask/tell interface, adaptive-sampler determinism across worker counts, and
+the successive-halving never-prunes-the-best property."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import named_matrix
+from repro.bench.runner import CorpusRunner
+from repro.gpu import A100
+from repro.search import (
+    AnnealerSampler,
+    DTSSampler,
+    QMCSampler,
+    Sampler,
+    ScrambledSobol,
+    SearchBudget,
+    SearchEngine,
+    SuccessiveHalvingPruner,
+    TPESampler,
+    get_sampler,
+    sampler_names,
+)
+from repro.sparse.generators import power_law_matrix
+from repro.store import DesignStore
+
+# The pre-sampler-interface golden digest (tests/test_workloads.py): the
+# default sampler must keep reproducing these bytes.
+GOLDEN_HISTORY_DIGEST = "698d9cef81eb821dce2abedb5b13ef4e"
+GOLDEN_MATRIX = "2D_27628_bjtcai"
+GOLDEN_BUDGET = dict(max_total_evals=96)
+
+ADAPTIVE = ["qmc", "tpe", "dts"]
+
+
+def _history_digest(result) -> str:
+    blob = repr([r.identity() for r in result.history])
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Registry and typo UX
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_names(self):
+        assert sampler_names() == ["annealer", "dts", "qmc", "tpe"]
+
+    def test_default_is_annealer(self):
+        assert get_sampler(None) is AnnealerSampler
+
+    def test_lookup_by_name_and_class(self):
+        assert get_sampler("tpe") is TPESampler
+        assert get_sampler(TPESampler) is TPESampler
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="unknown sampler 'bogus'"):
+            get_sampler("bogus")
+        with pytest.raises(
+            ValueError, match="annealer, dts, qmc, tpe"
+        ):
+            get_sampler("bogus")
+
+    def test_cli_types_reject_cleanly(self):
+        import argparse
+
+        from repro.cli import _sampler_arg, _sampler_seed_arg
+
+        assert _sampler_arg("qmc") is QMCSampler
+        assert _sampler_seed_arg("17") == 17
+        with pytest.raises(argparse.ArgumentTypeError, match="registered samplers"):
+            _sampler_arg("bogus")
+        with pytest.raises(argparse.ArgumentTypeError, match="integer sampler seed"):
+            _sampler_seed_arg("seven")
+
+    def test_duplicate_registration_errors(self):
+        from repro.search.samplers import register_sampler
+
+        class Dup(Sampler):
+            name = "tpe"
+
+            def begin(self, space, rng, seed):  # pragma: no cover
+                pass
+
+            def ask(self, history):  # pragma: no cover
+                return None
+
+            def tell(self, batches, records):  # pragma: no cover
+                pass
+
+        with pytest.raises(ValueError, match="duplicate sampler"):
+            register_sampler(Dup)
+
+
+# ---------------------------------------------------------------------------
+# Byte identity: the annealer behind the interface
+# ---------------------------------------------------------------------------
+
+class TestAnnealerByteIdentity:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return named_matrix(GOLDEN_MATRIX)
+
+    def _search(self, matrix, jobs=1, store=None, sampler=None):
+        engine = SearchEngine(
+            A100,
+            budget=SearchBudget(jobs=jobs, **GOLDEN_BUDGET),
+            seed=0,
+            store=store,
+            sampler=sampler,
+            enable_static_pruning=False,
+        )
+        try:
+            return engine.search(matrix)
+        finally:
+            engine.close()
+
+    def test_golden_across_jobs_and_store(self, matrix, tmp_path):
+        """The acceptance assertion: default-sampler histories are
+        byte-identical to the pre-interface engine across jobs 1/4 x
+        store on/off."""
+        for jobs in (1, 4):
+            for use_store in (False, True):
+                store = (
+                    DesignStore(tmp_path / f"s{jobs}{int(use_store)}")
+                    if use_store
+                    else None
+                )
+                result = self._search(matrix, jobs=jobs, store=store)
+                assert _history_digest(result) == GOLDEN_HISTORY_DIGEST, (
+                    f"jobs={jobs} store={use_store} diverged from the "
+                    "pre-sampler-interface golden digest"
+                )
+                assert result.sampler == "annealer"
+                assert result.sampler_pruned == 0
+
+    def test_explicit_annealer_is_the_default(self, matrix):
+        assert (
+            _history_digest(self._search(matrix, sampler="annealer"))
+            == GOLDEN_HISTORY_DIGEST
+        )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive-sampler determinism
+# ---------------------------------------------------------------------------
+
+class TestAdaptiveDeterminism:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return power_law_matrix(512, avg_degree=8, seed=1, name="pl-512")
+
+    def _search(self, matrix, sampler, jobs=1, sampler_seed=None):
+        engine = SearchEngine(
+            A100,
+            budget=SearchBudget(max_total_evals=64, jobs=jobs),
+            seed=0,
+            sampler=sampler,
+            sampler_seed=sampler_seed,
+        )
+        try:
+            return engine.search(matrix)
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize("sampler", ADAPTIVE)
+    def test_identical_across_jobs(self, matrix, sampler):
+        """Same seed -> byte-identical ask sequences (hence histories)
+        whether evaluation runs serial or on 4 workers: adaptive samplers
+        draw only from their private RNG, never during evaluation."""
+        serial = self._search(matrix, sampler, jobs=1)
+        pooled = self._search(matrix, sampler, jobs=4)
+        assert [r.identity() for r in serial.history] == [
+            r.identity() for r in pooled.history
+        ]
+        assert serial.sampler_pruned == pooled.sampler_pruned
+
+    @pytest.mark.parametrize("sampler", ADAPTIVE)
+    def test_sampler_seed_reproducible(self, matrix, sampler):
+        a = self._search(matrix, sampler, sampler_seed=7)
+        b = self._search(matrix, sampler, sampler_seed=7)
+        assert [r.identity() for r in a.history] == [
+            r.identity() for r in b.history
+        ]
+
+    def test_sampler_seed_changes_trajectory(self, matrix):
+        a = self._search(matrix, "qmc", sampler_seed=1)
+        b = self._search(matrix, "qmc", sampler_seed=2)
+        assert [r.identity() for r in a.history] != [
+            r.identity() for r in b.history
+        ]
+
+    def test_result_records_sampler(self, matrix):
+        result = self._search(matrix, "tpe")
+        assert result.sampler == "tpe"
+        assert result.sampler_pruned > 0
+
+
+# ---------------------------------------------------------------------------
+# Successive halving
+# ---------------------------------------------------------------------------
+
+class TestSuccessiveHalving:
+    def test_waves_partition_in_descending_order(self):
+        pruner = SuccessiveHalvingPruner()
+        scores = [3.0, 9.0, 1.0, 7.0, 5.0, 0.0, 2.0, 8.0]
+        waves = pruner.waves(scores)
+        flat = [i for wave in waves for i in wave]
+        assert sorted(flat) == list(range(len(scores)))
+        assert [scores[i] for i in flat] == sorted(scores, reverse=True)
+        assert len(waves[0]) == pruner.min_survivors
+
+    def test_small_batches_never_pruned(self):
+        pruner = SuccessiveHalvingPruner()
+        assert pruner.waves([1.0, 2.0]) == [[1, 0]]
+        assert pruner.waves([]) == []
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            SuccessiveHalvingPruner(eta=1.0)
+        with pytest.raises(ValueError):
+            SuccessiveHalvingPruner(min_survivors=0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    def test_never_prunes_the_eventual_best(self, candidates):
+        """Replay the engine's pruned-measurement loop on an arbitrary
+        batch: projections are exact for valid candidates (this
+        simulator's measurement contract) and invalid candidates measure
+        0.  Whatever is pruned, the best fully-measured score must equal
+        the best score full measurement of *every* candidate would have
+        found."""
+        pruner = SuccessiveHalvingPruner()
+        projections = [score for score, _valid in candidates]
+        measured_all = [
+            score if valid else 0.0 for score, valid in candidates
+        ]
+        waves = pruner.waves(projections)
+        measured = []
+        for index, wave in enumerate(waves):
+            if index > 0 and any(m > 0 for m in measured):
+                break  # remaining waves are pruned
+            measured.extend(measured_all[i] for i in wave)
+        assert max(measured, default=0.0) == max(measured_all, default=0.0)
+
+    def test_pruning_never_hurts_on_a_real_search(self):
+        """QMC asks the same candidate sequence regardless of history, and
+        per batch the pruner always measures the batch's best valid
+        candidate (the hypothesis property above).  So at an equal
+        full-measurement budget the pruned run — which stretches the same
+        budget across strictly more batches — must end at least as good as
+        measuring everything."""
+        matrix = power_law_matrix(384, avg_degree=6, seed=2, name="pl-384")
+        results = {}
+        for pruning in (True, False):
+            engine = SearchEngine(
+                A100,
+                budget=SearchBudget(max_total_evals=400),
+                seed=0,
+                sampler="qmc",
+                sampler_seed=3,
+                enable_sampler_pruning=pruning,
+            )
+            try:
+                results[pruning] = engine.search(matrix)
+            finally:
+                engine.close()
+        assert results[True].best_gflops >= results[False].best_gflops
+        assert results[True].sampler_pruned > 0
+        assert results[False].sampler_pruned == 0
+
+
+# ---------------------------------------------------------------------------
+# Scrambled Sobol
+# ---------------------------------------------------------------------------
+
+class TestScrambledSobol:
+    def test_points_in_unit_cube_and_deterministic(self):
+        a = ScrambledSobol(5, np.random.default_rng(0)).take(64)
+        b = ScrambledSobol(5, np.random.default_rng(0)).take(64)
+        assert a == b
+        assert all(0.0 <= u < 1.0 for point in a for u in point)
+
+    def test_dimension_zero_is_equidistributed(self):
+        points = ScrambledSobol(3, np.random.default_rng(1)).take(64)
+        first = [p[0] for p in points]
+        assert len(set(first)) == 64  # digital shift preserves distinctness
+        counts = np.bincount((np.array(first) * 8).astype(int), minlength=8)
+        assert counts.min() >= 7 and counts.max() <= 9
+
+    def test_scramble_off_reproduces_sobol(self):
+        rng = np.random.default_rng(0)
+        points = ScrambledSobol(2, rng, scramble=False).take(3)
+        # Gray-code Sobol' starting at x_1: 1/2, then 3/4 / 1/4 pattern.
+        assert points[0] == [0.5, 0.5]
+        assert sorted(p[0] for p in points[1:]) == [0.25, 0.75]
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            ScrambledSobol(0, np.random.default_rng(0))
+
+
+# ---------------------------------------------------------------------------
+# Bench/store config pinning
+# ---------------------------------------------------------------------------
+
+class TestConfigPinning:
+    def test_default_sampler_pins_no_keys(self):
+        runner = CorpusRunner(
+            A100, budget=SearchBudget(max_total_evals=24), seed=0
+        )
+        with runner:
+            config = runner.config()
+            matrix = power_law_matrix(256, avg_degree=5, seed=3, name="pl-256")
+            record = runner._evaluate_matrix(matrix, family="synthetic", seed=0)
+        assert "sampler" not in config["engine"]
+        assert "sampler_seed" not in config["engine"]
+        assert "sampler" not in record["search"]
+        assert "sampler_pruned" not in record["search"]
+
+    def test_non_default_sampler_is_pinned(self):
+        engine = SearchEngine(
+            A100,
+            budget=SearchBudget(max_total_evals=24),
+            seed=0,
+            sampler="tpe",
+            sampler_seed=11,
+        )
+        runner = CorpusRunner(A100, engine=engine)
+        with runner:
+            config = runner.config()
+            matrix = power_law_matrix(256, avg_degree=5, seed=3, name="pl-256")
+            record = runner._evaluate_matrix(matrix, family="synthetic", seed=0)
+        assert config["engine"]["sampler"] == "tpe"
+        assert config["engine"]["sampler_seed"] == 11
+        assert record["search"]["sampler"] == "tpe"
+        assert "sampler_pruned" in record["search"]
