@@ -22,6 +22,12 @@ corpus:
 
     PYTHONPATH=src python benchmarks/bench_sampler_eff.py --check
 
+Both modes also measure store-seeded cross-matrix *warm starts*: the
+corpus is searched sequentially twice — cold, and with each search's
+winner written to a design store that seeds the next matrix's candidate
+stream — and the warm pass must need no more total evals-to-best than
+the cold pass (``--check`` fails otherwise).
+
 Every search is seeded and count-budgeted, so both modes are deterministic.
 """
 
@@ -32,11 +38,14 @@ import json
 import os
 import platform
 import sys
+import tempfile
 from datetime import datetime, timezone
 
 from repro.gpu import A100
 from repro.search import SearchBudget, SearchEngine
+from repro.search.evaluation import matrix_token
 from repro.sparse import banded_matrix, lp_like_matrix, power_law_matrix
+from repro.store import DesignStore, search_result_record
 
 OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_samplers.json")
 
@@ -44,6 +53,16 @@ MATRICES = [
     banded_matrix(768, bandwidth=4, seed=0, name="banded-768"),
     power_law_matrix(1024, avg_degree=10, seed=4, name="powerlaw-1024"),
     lp_like_matrix(400, seed=3, name="lp-400"),
+]
+
+#: the warm-start corpus: family *pairs* in sequence, because that is
+#: what cross-matrix transfer is for — the first member of each family
+#: searches cold and donates, the second should then reach its best in
+#: far fewer evaluations (often 1: the donor IS its best design).
+WARM_MATRICES = MATRICES + [
+    banded_matrix(1024, bandwidth=4, seed=1, name="banded-1024"),
+    power_law_matrix(1408, avg_degree=10, seed=5, name="powerlaw-1408"),
+    lp_like_matrix(560, seed=6, name="lp-560"),
 ]
 
 WORKLOADS = ["spmv", "spmvt"]
@@ -120,6 +139,76 @@ def _print_rows(workload: str, sampler: str, rows) -> None:
               f"pruned {r['sampler_pruned']:3d}")
 
 
+def _sequential_search(workload: str, warm: bool):
+    """Search the corpus one matrix at a time; with ``warm`` each winner
+    is recorded to a design store that seeds the next matrix's search
+    (the corpus-runner ``--warm-start`` behaviour, measured directly)."""
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = DesignStore(os.path.join(tmp, "store")) if warm else None
+        engine = SearchEngine(
+            A100,
+            budget=SearchBudget(),
+            seed=0,
+            workload=workload,
+            warm_start_store=store,
+        )
+        with engine:
+            for matrix in WARM_MATRICES:
+                result = engine.search(matrix)
+                results.append(result)
+                if store is not None and result.best_graph is not None:
+                    store.put_result(
+                        engine.workload.scope_token(matrix_token(matrix)),
+                        A100.name,
+                        search_result_record(
+                            matrix, A100.name, result, seed=0
+                        ),
+                    )
+    return results
+
+
+def _warm_start_block(workload: str = "spmv"):
+    """Cold vs store-seeded sequential corpus pass: per-matrix
+    evals-to-best, plus the gate the CI check enforces (the warm pass
+    reaches its bests in no more total evaluations than the cold one)."""
+    cold = _sequential_search(workload, warm=False)
+    warm = _sequential_search(workload, warm=True)
+    rows = []
+    for c, w in zip(cold, warm):
+        rows.append({
+            "matrix": c.matrix_name,
+            "cold_best_gflops": round(c.best_gflops, 3),
+            "warm_best_gflops": round(w.best_gflops, 3),
+            "cold_evals_to_best": _evals_to_reach(c.history, c.best_gflops),
+            "warm_evals_to_best": _evals_to_reach(w.history, w.best_gflops),
+            "warm_start_hits": w.warm_start_hits,
+        })
+    cold_total = sum(r["cold_evals_to_best"] or 0 for r in rows)
+    warm_total = sum(r["warm_evals_to_best"] or 0 for r in rows)
+    return {
+        "workload": workload,
+        "per_matrix": rows,
+        "cold_evals_to_best": cold_total,
+        "warm_evals_to_best": warm_total,
+        "ok": warm_total < cold_total,
+    }
+
+
+def _print_warm_start(block) -> None:
+    for r in block["per_matrix"]:
+        print(f"  warm-start {r['matrix']:>14s}: "
+              f"cold to-best {str(r['cold_evals_to_best']):>4s} "
+              f"({r['cold_best_gflops']:8.2f})  "
+              f"warm to-best {str(r['warm_evals_to_best']):>4s} "
+              f"({r['warm_best_gflops']:8.2f})  "
+              f"hits {r['warm_start_hits']}")
+    print(f"warm-start ({block['workload']}): "
+          f"{block['warm_evals_to_best']} warm vs "
+          f"{block['cold_evals_to_best']} cold total evals-to-best "
+          f"{'ok' if block['ok'] else 'FAIL'}")
+
+
 def check(max_ratio: float) -> int:
     """CI gate: the gated sampler must reach the annealer's best (within
     1%) in at most ``max_ratio`` of its evaluations, per workload."""
@@ -137,6 +226,10 @@ def check(max_ratio: float) -> int:
               f"(limit {max_ratio}) {verdict}")
         if not gate["ok"]:
             failures.append(workload)
+    warm_block = _warm_start_block()
+    _print_warm_start(warm_block)
+    if not warm_block["ok"]:
+        failures.append("warm-start")
     if failures:
         print(f"sampler-efficiency gate failed on: {', '.join(failures)}")
         return 1
@@ -180,6 +273,9 @@ def main() -> int:
         record["workloads"][workload] = per_sampler
         for sampler, block in per_sampler.items():
             _print_rows(workload, sampler, block["per_matrix"])
+
+    record["warm_start"] = _warm_start_block()
+    _print_warm_start(record["warm_start"])
 
     with open(OUT_PATH, "w") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)

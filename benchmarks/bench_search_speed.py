@@ -1,10 +1,12 @@
 """Record (or regression-check) the staged-runtime search-speed baseline.
 
-Runs one standard-budget search per corpus matrix in four configurations —
-serial/uncached (the pre-refactor behaviour), serial/cached, and cached
-with 2 and 4 workers — asserts they agree bit-for-bit, and writes the
-wall-clock numbers plus cache counters to ``BENCH_search_speed.json`` at
-the repo root.  Not a pytest module: run it directly.
+Runs one standard-budget search per corpus matrix in five configurations —
+serial/uncached (the pre-refactor behaviour), serial/cached with the
+batched group evaluator ablated, serial/cached, and cached with 2 and 4
+workers — asserts their search histories agree bit-for-bit, and writes
+best-of-N wall-clock numbers plus cache counters to
+``BENCH_search_speed.json`` at the repo root.  Not a pytest module: run
+it directly.
 
     PYTHONPATH=src python benchmarks/bench_search_speed.py
 
@@ -39,18 +41,23 @@ MATRICES = [
 ]
 
 
-def _run(jobs: int, cache: bool, seed: int = 0):
+def _run(jobs: int, cache: bool, seed: int = 0, batch: bool = True):
     engine = SearchEngine(
         A100,
         budget=SearchBudget(jobs=jobs),
         seed=seed,
         enable_design_cache=cache,
+        enable_batch_eval=batch,
     )
     t0 = time.perf_counter()
     with engine:
         results = engine.search_many(MATRICES)
     wall = time.perf_counter() - t0
     return wall, results
+
+
+def _identities(results):
+    return [[r.identity() for r in result.history] for result in results]
 
 
 def check(max_regression: float, repeats: int) -> int:
@@ -97,11 +104,15 @@ def main() -> int:
                              "this multiple of the recorded number")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N runs per configuration in --check")
+    parser.add_argument("--record-repeats", type=int, default=5,
+                        help="best-of-N runs per configuration when "
+                             "recording the baseline")
     args = parser.parse_args()
     if args.check:
         return check(args.max_regression, args.repeats)
     configs = {
         "serial_uncached": dict(jobs=1, cache=False),
+        "serial_nobatch": dict(jobs=1, cache=True, batch=False),
         "serial_cached": dict(jobs=1, cache=True),
         "jobs2_cached": dict(jobs=2, cache=True),
         "jobs4_cached": dict(jobs=4, cache=True),
@@ -109,20 +120,29 @@ def main() -> int:
     walls = {}
     outcomes = {}
     for name, cfg in configs.items():
-        wall, results = _run(**cfg)
+        wall = float("inf")
+        for _ in range(max(1, args.record_repeats)):
+            one_wall, results = _run(**cfg)
+            wall = min(wall, one_wall)
         walls[name] = wall
         outcomes[name] = results
         print(f"{name:>16}: {wall:6.2f}s  "
               f"designs={sum(r.designer_runs for r in results)}  "
               f"evals={sum(r.total_evaluations for r in results)}")
 
+    # Bit-for-bit agreement: every configuration must reproduce the exact
+    # candidate-by-candidate search history of the uncached serial loop
+    # (batched vs per-candidate, cached vs not, any worker count).
     reference = outcomes["serial_uncached"]
+    reference_ids = _identities(reference)
     for name, results in outcomes.items():
+        assert _identities(results) == reference_ids, (
+            f"{name} search history diverged from serial_uncached"
+        )
         for got, want in zip(results, reference):
             assert got.best_gflops == want.best_gflops, (
                 f"{name} diverged on {want.matrix_name}"
             )
-            assert len(got.history) == len(want.history)
 
     cached = outcomes["serial_cached"]
     record = {
@@ -134,6 +154,12 @@ def main() -> int:
         "speedup_vs_uncached": {
             k: round(walls["serial_uncached"] / v, 2)
             for k, v in walls.items()
+        },
+        "batch_eval_speedup": round(
+            walls["serial_nobatch"] / walls["serial_cached"], 2
+        ),
+        "searches_per_min": {
+            k: round(len(MATRICES) * 60.0 / v, 1) for k, v in walls.items()
         },
         "total_evaluations": sum(r.total_evaluations for r in cached),
         "designer_runs": {

@@ -92,12 +92,16 @@ class CorpusRunner:
         design_store: Optional[DesignStore] = None,
         workload: Optional[Workload] = None,
         static_pruning: bool = True,
+        warm_start: bool = False,
     ) -> None:
         self.gpu = gpu
         self.seed = seed
         self.store = store if store is not None else ResultStore()
         self.baselines = list(baselines) if baselines else list(DEFAULT_BASELINES)
         self.design_store = design_store
+        self.warm_start = warm_start
+        if warm_start and design_store is None and engine is None:
+            raise ValueError("warm_start requires a design_store")
         self._owns_engine = engine is None
         ensure_engine_workload(engine, workload)
         self.engine = engine or SearchEngine(
@@ -107,6 +111,7 @@ class CorpusRunner:
             store=design_store,
             workload=workload,
             enable_static_pruning=static_pruning,
+            warm_start_store=design_store if warm_start else None,
         )
         #: the workload every baseline measurement and search runs under
         #: (the injected engine's when one is supplied).
@@ -157,6 +162,11 @@ class CorpusRunner:
             # Pinned only when on: pruning-off runs resume result stores
             # written before the static verifier existed.
             config["engine"]["static_pruning"] = True
+        if self.engine.warm_start_store is not None:
+            # Pinned only when on: warm starts seed the candidate stream
+            # from the design store, so histories legitimately differ —
+            # cold runs resume pre-warm-start result stores unchanged.
+            config["engine"]["warm_start"] = True
         if not self.workload.is_default:
             # The default workload pins no key, so pre-workload-layer
             # result stores stay resumable and spmv configs byte-identical.
@@ -293,6 +303,10 @@ class CorpusRunner:
             # Same absent-key convention as the config: records from
             # pruning-off runs keep their exact historical bytes.
             record["search"]["static_pruned"] = result.static_pruned
+        if self.engine.warm_start_store is not None:
+            # Absent key == cold search: records from cold runs keep
+            # their exact historical bytes (GOLDEN_BENCH_DIGEST).
+            record["search"]["warm_start_hits"] = result.warm_start_hits
         if result.sampler != DEFAULT_SAMPLER_NAME:
             # Absent keys == annealer: default-sampler records keep their
             # exact historical bytes (GOLDEN_BENCH_DIGEST).

@@ -9,13 +9,14 @@ Commands::
     python -m repro search <matrix.mtx | @named> [more matrices ...]
                            [--gpu A100] [--evals N] [--jobs N] [--profile]
                            [--workload spmv|spmm4|spmm16|spmvt]
-                           [--out DIR] [--store DIR] [--no-pruning]
-                           [--extensions] [--seed S]
+                           [--out DIR] [--store DIR] [--warm-start]
+                           [--no-pruning] [--extensions] [--seed S]
     python -m repro baselines <matrix.mtx | @named> [--gpu A100]
                               [--workload NAME]
     python -m repro bench <matrix.mtx | @named | @corpus:N> [more ...]
                           [--gpu A100] [--evals N] [--jobs N] [--seed S]
                           [--workload NAME] [--resume PATH] [--store DIR]
+                          [--warm-start]
     python -m repro serve <matrix.mtx | @named> [more ...] --store DIR
                           [--gpu A100] [--evals N] [--jobs N]
                           [--workers N] [--backend auto|dir|journal]
@@ -39,7 +40,10 @@ of the built-in deterministic corpus (``@corpus:K-N`` for a shard).
 ``--store DIR`` (search/bench) persists designs and results to an
 on-disk :class:`~repro.store.design.DesignStore`: a later search of the
 same matrix — even in a new process — warm-starts with zero Designer
-runs.  ``serve`` answers requests store-first (exact hit → feature
+runs.  ``--warm-start`` additionally seeds each search's candidate
+stream with the store's nearest-neighbour *winning* design (cross-matrix
+transfer — a corpus run's earlier matrices warm-start its later ones).
+``serve`` answers requests store-first (exact hit → feature
 nearest-neighbour transfer → bounded fresh search); with ``--workers N``
 it serves through a supervised multi-process resolver pool (crashed
 workers restart, deadline-blown requests degrade tier-by-tier, every
@@ -146,6 +150,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     matrices = [_load_matrix(spec) for spec in specs]
     gpu = gpu_by_name(args.gpu)
     store = DesignStore(args.store) if args.store else None
+    if args.warm_start and store is None:
+        raise SystemExit("--warm-start requires --store DIR")
     engine = SearchEngine(
         gpu,
         budget=SearchBudget(max_total_evals=args.evals, jobs=args.jobs),
@@ -156,6 +162,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         workload=args.workload,
         sampler=args.sampler,
         sampler_seed=args.sampler_seed,
+        warm_start_store=store if args.warm_start else None,
     )
     try:
         if len(matrices) == 1:
@@ -198,6 +205,9 @@ def _search_single(engine, matrix, spec, gpu, args) -> int:
     if engine.store is not None:
         print(f"design store: {result.store_hits} designs loaded / "
               f"{result.store_misses} designed ({args.store})")
+    if engine.warm_start_store is not None:
+        print(f"warm start: {result.warm_start_hits} stored design(s) "
+              "seeded the candidate stream")
     if args.profile:
         print()
         print(_render_profile(result))
@@ -225,7 +235,8 @@ def _search_single(engine, matrix, spec, gpu, args) -> int:
 
 def _render_profile(result) -> str:
     """Stage-timing breakdown of one search (``--profile``)."""
-    stages = ["design", "assembly", "project", "analysis", "verify", "ml"]
+    stages = ["design", "assembly", "project", "analysis",
+              "batch_assembly", "batch_cost", "verify", "ml"]
     times = dict(result.stage_times)
     accounted = sum(times.get(s, 0.0) for s in stages)
     rows = [[s, f"{times.get(s, 0.0) * 1e3:.1f}"] for s in stages]
@@ -319,6 +330,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     gpu = gpu_by_name(args.gpu)
     store = ResultStore(args.resume)
     design_store = DesignStore(args.store) if args.store else None
+    if args.warm_start and design_store is None:
+        raise SystemExit("--warm-start requires --store DIR")
     runner = CorpusRunner(
         gpu,
         budget=SearchBudget(max_total_evals=args.evals, jobs=args.jobs),
@@ -327,6 +340,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         progress=print,
         design_store=design_store,
         workload=args.workload,
+        warm_start=args.warm_start,
     )
     with runner:
         result = runner.run(matrices)
@@ -751,6 +765,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent design store: designs/results are "
                         "written through, and a repeat search of the same "
                         "matrix warm-starts with zero Designer runs")
+    p.add_argument("--warm-start", action="store_true",
+                   help="seed the candidate stream with the store's "
+                        "nearest-neighbour winning design (requires "
+                        "--store; cross-matrix transfer, so histories "
+                        "differ from cold searches)")
     p.add_argument("--no-pruning", action="store_true")
     p.add_argument("--extensions", action="store_true",
                    help="enable future-work operators (HYB_DECOMP)")
@@ -758,9 +777,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the Perfect Format Selector")
     p.add_argument("--profile", action="store_true",
                    help="print the per-stage timing breakdown (design / "
-                        "assembly / analysis / verify / ml; 'analysis' = "
-                        "plan analysis + cost projection + functional "
-                        "execution) and leaf-analysis cache counters")
+                        "assembly / analysis / verify / ml, plus "
+                        "batch_assembly / batch_cost for the vectorized "
+                        "group evaluator; 'analysis' = plan analysis + "
+                        "cost projection + functional execution) and "
+                        "leaf-analysis cache counters")
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser(
@@ -789,6 +810,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default=None, metavar="DIR",
                    help="also populate a persistent design store (designs "
                         "+ winning artifacts) for warm starts and serving")
+    p.add_argument("--warm-start", action="store_true",
+                   help="seed each matrix's search with the store's "
+                        "nearest-neighbour winning design (requires "
+                        "--store; earlier corpus matrices then warm-start "
+                        "later ones)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(

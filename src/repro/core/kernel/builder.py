@@ -191,53 +191,75 @@ class KernelBuilder:
 
         With ``analysis`` set, the thread distribution is cached per
         runtime-scalar pair and the original-row projection per leaf; the
-        plan then carries the analysis plus a content key so the executor
-        shares cost projections across the runtime grid.
+        plan itself is then cached per distribution key — everything else
+        in it (element arrays, reduction steps, format bytes) is
+        leaf-invariant, so one :class:`ExecutionPlan` (construction plus
+        its O(n) invariant checks) serves every runtime assignment that
+        lands on the same distribution, and the executor shares cost
+        projections across the whole runtime grid.
         """
         if analysis is None:
             thread_of_nz, n_threads, tpb, run_length, _deps = self._distribute(meta)
-            cost_key = None
-        else:
-            dist = analysis.distribution(
-                {"tpb": meta.threads_per_block, "grid": meta.grid_threads},
-                lambda: self._distribute(meta),
+            steps = self._reduction_steps(meta)
+            return ExecutionPlan(
+                n_rows=int(meta.get("orig_n_rows", meta.n_rows)),
+                n_cols=meta.n_cols,
+                useful_nnz=meta.useful_nnz,
+                values=meta.elem_val,
+                col_indices=meta.elem_col,
+                out_rows=meta.origin_rows[meta.elem_row],
+                thread_of_nz=thread_of_nz,
+                n_threads=n_threads,
+                threads_per_block=tpb,
+                reduction_steps=steps,
+                interleaved=meta.interleaved,
+                extra_format_bytes=float(fmt.aux_bytes),
+                storage_run_length=run_length,
+                value_bytes=8 if self.precision == "fp64" else 4,
+                label=label,
+                analysis=None,
+                cost_key=None,
             )
-            thread_of_nz = dist.thread_of_nz
-            n_threads = dist.n_threads
-            tpb = dist.threads_per_block
-            run_length = dist.run_length
-            cost_key = (dist.digest, dist.n_threads, dist.threads_per_block)
+        dist = analysis.distribution(
+            {"tpb": meta.threads_per_block, "grid": meta.grid_threads},
+            lambda: self._distribute(meta),
+        )
+        cost_key = (dist.key, dist.n_threads, dist.threads_per_block)
+
+        def construct() -> ExecutionPlan:
+            steps = self._reduction_steps(meta)
+            return ExecutionPlan(
+                n_rows=int(meta.get("orig_n_rows", meta.n_rows)),
+                n_cols=meta.n_cols,
+                useful_nnz=meta.useful_nnz,
+                values=meta.elem_val,
+                col_indices=meta.elem_col,
+                out_rows=analysis.cached_array(
+                    "out_rows", lambda: meta.origin_rows[meta.elem_row]
+                ),
+                thread_of_nz=dist.thread_of_nz,
+                n_threads=dist.n_threads,
+                threads_per_block=dist.threads_per_block,
+                reduction_steps=steps,
+                interleaved=meta.interleaved,
+                extra_format_bytes=float(fmt.aux_bytes),
+                storage_run_length=dist.run_length,
+                value_bytes=8 if self.precision == "fp64" else 4,
+                label=label,
+                analysis=analysis,
+                cost_key=cost_key,
+            )
+
+        return analysis.cached_scalar(("plan",) + cost_key, construct)
+
+    @staticmethod
+    def _reduction_steps(meta: MatrixMetadataSet) -> Tuple[ReductionStep, ...]:
         steps = tuple(
             ReductionStep(level, strategy) for level, strategy in meta.reduction_steps
         )
         if not steps or steps[-1].level != "global":
             raise BuildError("design has no global reduction step")
-        orig_rows = int(meta.get("orig_n_rows", meta.n_rows))
-        if analysis is None:
-            out_rows = meta.origin_rows[meta.elem_row]
-        else:
-            out_rows = analysis.cached_array(
-                "out_rows", lambda: meta.origin_rows[meta.elem_row]
-            )
-        return ExecutionPlan(
-            n_rows=orig_rows,
-            n_cols=meta.n_cols,
-            useful_nnz=meta.useful_nnz,
-            values=meta.elem_val,
-            col_indices=meta.elem_col,
-            out_rows=out_rows,
-            thread_of_nz=thread_of_nz,
-            n_threads=n_threads,
-            threads_per_block=tpb,
-            reduction_steps=steps,
-            interleaved=meta.interleaved,
-            extra_format_bytes=float(fmt.aux_bytes),
-            storage_run_length=run_length,
-            value_bytes=8 if self.precision == "fp64" else 4,
-            label=label,
-            analysis=analysis,
-            cost_key=cost_key,
-        )
+        return steps
 
     # ------------------------------------------------------------------
     def _distribute(
@@ -480,25 +502,41 @@ class KernelBuilder:
         nodes = runtime_nodes_for_leaf(graph, leaf.branch_path)
         if analysis is None:
             return self.build_unit(self._runtime_leaf(leaf, nodes), analysis=None)
-        key = tuple(
-            (node.op_name, tuple(sorted(node.params.items()))) for node in nodes
+        entry = analysis.unit(
+            self.runtime_unit_key(nodes),
+            lambda: self.compute_unit_entry(leaf, nodes, analysis),
         )
-
-        def compute():
-            try:
-                unit = self.build_unit(
-                    self._runtime_leaf(leaf, nodes), analysis=analysis
-                )
-            except DesignError as exc:
-                return ("error", DesignError, str(exc))
-            except BuildError as exc:
-                return ("error", BuildError, str(exc))
-            return ("ok", unit)
-
-        entry = analysis.unit(key, compute)
         if entry[0] == "error":
             raise entry[1](entry[2])
         return entry[1]
+
+    @staticmethod
+    def runtime_unit_key(nodes: Sequence[GraphNode]) -> Tuple:
+        """Unit-cache key of one leaf: the runtime-operator parameters on
+        its branch path (the only candidate-varying input of a unit)."""
+        return tuple(
+            (node.op_name, tuple(sorted(node.params.items()))) for node in nodes
+        )
+
+    def compute_unit_entry(
+        self,
+        leaf: DesignLeaf,
+        nodes: Sequence[GraphNode],
+        analysis: LeafAnalysis,
+    ) -> Tuple:
+        """Entry-form unit assembly for prepared branch-path nodes:
+        ``("ok", unit)`` or ``("error", exc_class, message)`` — the shape
+        :meth:`LeafAnalysis.unit`/``unit_batch`` cache, shared by the
+        per-candidate and batched evaluation paths."""
+        try:
+            unit = self.build_unit(
+                self._runtime_leaf(leaf, nodes), analysis=analysis
+            )
+        except DesignError as exc:
+            return ("error", DesignError, str(exc))
+        except BuildError as exc:
+            return ("error", BuildError, str(exc))
+        return ("ok", unit)
 
     def _runtime_leaf(
         self, leaf: DesignLeaf, nodes: Sequence[GraphNode]

@@ -88,16 +88,19 @@ def _readonly(arr: np.ndarray) -> np.ndarray:
 class DistResult:
     """One cached thread distribution (output of ``KernelBuilder._distribute``).
 
-    ``digest`` content-addresses ``thread_of_nz`` so leaves whose
-    distribution ignores a runtime scalar (structurally-derived block
-    sizes) share downstream cost projections across the whole grid.
+    ``key`` is the deps-projected runtime-scalar tuple the distribution was
+    cached under.  The dependency set is pinned per leaf, so within one
+    :class:`LeafAnalysis` the tuple identifies the distribution — downstream
+    caches (plan, cost projection, thread stats) key on it directly, which
+    is why a leaf whose distribution ignores a runtime scalar shares cost
+    projections across the whole grid without hashing ``thread_of_nz``.
     """
 
     thread_of_nz: np.ndarray
     n_threads: int
     threads_per_block: int
     run_length: Optional[float]
-    digest: str
+    key: Tuple
 
 
 @dataclass(frozen=True)
@@ -190,14 +193,14 @@ class LeafAnalysis:
                 if dist is not None:
                     return dist
         thread_of_nz, n_threads, tpb, run, deps = compute()
+        key = tuple(scalars[name] for name in deps)
         dist = DistResult(
             thread_of_nz=_readonly(thread_of_nz),
             n_threads=int(n_threads),
             threads_per_block=int(tpb),
             run_length=run,
-            digest=content_digest(thread_of_nz),
+            key=key,
         )
-        key = tuple(scalars[name] for name in deps)
         with self.lock:
             self._scalars["__dist_deps"] = deps
             return self._dist.setdefault(key, dist)
@@ -240,6 +243,44 @@ class LeafAnalysis:
             with self.lock:
                 entry = self._units.setdefault(key, value)
         return entry
+
+    # -- batch entry points ---------------------------------------------
+    def unit_batch(
+        self, keys: List[Tuple], compute: Callable[[Tuple], Tuple]
+    ) -> List[Tuple]:
+        """Unit entries for ``keys``, in order, with batched lock trips.
+
+        The whole runtime grid of one design group is looked up under a
+        single lock acquisition; ``compute(key)`` runs once per *distinct*
+        missing key (first-occurrence order, outside the lock) and the
+        results are inserted with one further trip.  ``setdefault`` keeps
+        a concurrently-raced first value, exactly like :meth:`unit`.
+        """
+        with self.lock:
+            entries = {key: self._units.get(key) for key in keys}
+        missing = [key for key, entry in entries.items() if entry is None]
+        if missing:
+            computed = {key: compute(key) for key in missing}
+            with self.lock:
+                for key, value in computed.items():
+                    entries[key] = self._units.setdefault(key, value)
+        return [entries[key] for key in keys]
+
+    def cost_batch(
+        self, keys: List[Tuple], compute: Callable[[Tuple], Tuple]
+    ) -> List[Tuple]:
+        """Cost-projection entries for ``keys``, in order, with batched
+        lock trips — the distribution-digest analogue of :meth:`unit_batch`
+        (entry shape is :meth:`cost_projection`'s)."""
+        with self.lock:
+            entries = {key: self._cost.get(key) for key in keys}
+        missing = [key for key, entry in entries.items() if entry is None]
+        if missing:
+            computed = {key: compute(key) for key in missing}
+            with self.lock:
+                for key, value in computed.items():
+                    entries[key] = self._cost.setdefault(key, value)
+        return [entries[key] for key in keys]
 
     # -- functional execution -------------------------------------------
     def x_digest(self, x: np.ndarray) -> str:

@@ -74,7 +74,10 @@ __all__ = [
     "ExecutionPlan",
     "ExecutionResult",
     "PlanValidationError",
+    "compute_cost_entry",
+    "cost_entry_key",
     "execute",
+    "functional_y_entry",
     "plan_cost_inputs",
     "validate_plan",
 ]
@@ -476,15 +479,52 @@ def _cost_projection(
     workload token for non-default workloads)."""
     analysis = plan.analysis
     key = workload.scope_key(plan.cost_key + (gpu.name, plan.value_bytes))
+    return analysis.cost_projection(
+        key, lambda: compute_cost_entry(plan, gpu, workload)
+    )
 
-    def compute() -> Tuple:
+
+def cost_entry_key(plan: ExecutionPlan, gpu: GPUSpec, workload: Workload) -> Tuple:
+    """The cache key :func:`_cost_projection` files a plan's entry under —
+    exposed so the batched evaluator can look up whole distribution-digest
+    batches via :meth:`LeafAnalysis.cost_batch`."""
+    return workload.scope_key(plan.cost_key + (gpu.name, plan.value_bytes))
+
+
+def compute_cost_entry(
+    plan: ExecutionPlan, gpu: GPUSpec, workload: Optional[Workload] = None
+) -> Tuple:
+    """Uncached entry-form cost projection: ``("ok", inputs, cost)`` or
+    ``("error", message, code)`` — never raises for an invalid chain, so
+    cached replay is exact for every candidate sharing the entry."""
+    workload = workload or DEFAULT_WORKLOAD
+    try:
+        inputs = _compute_cost_inputs(plan, gpu, workload)
+    except PlanValidationError as exc:
+        return ("error", str(exc), code_of(exc))
+    return ("ok", inputs, CostModel(gpu).evaluate(inputs))
+
+
+def functional_y_entry(
+    plan: ExecutionPlan, x: np.ndarray, workload: Optional[Workload] = None
+) -> Tuple:
+    """Cached ``("ok", y)`` / ``("error", msg, code)`` of an analysis-backed
+    plan for one operand — the per-leaf functional result :func:`execute`
+    consults, exposed for the batched evaluator (which sums the per-kernel
+    entries itself instead of running ``execute`` per candidate)."""
+    workload = workload or DEFAULT_WORKLOAD
+    analysis = plan.analysis
+
+    def compute_y() -> Tuple:
+        valid = analysis.cached_array("valid", lambda: plan.out_rows >= 0)
         try:
-            inputs = _compute_cost_inputs(plan, gpu, workload)
+            return ("ok", _functional_y(plan, x, valid, workload))
         except PlanValidationError as exc:
             return ("error", str(exc), code_of(exc))
-        return ("ok", inputs, CostModel(gpu).evaluate(inputs))
 
-    return analysis.cost_projection(key, compute)
+    return analysis.functional_y(
+        x, compute_y, scope="" if workload.is_default else workload.token
+    )
 
 
 def _thread_stats(plan: ExecutionPlan) -> Tuple[np.ndarray, float, float]:
@@ -538,9 +578,9 @@ def _compute_cost_inputs(
                     workload.scope_key(("row_base",)),
                     lambda: int(rows_valid.max()) + 1,
                 )
-                digest = plan.cost_key[0]
+                dist_key = plan.cost_key[0]
                 start_pairs = analysis.start_pairs(
-                    workload.scope_key((digest,)),
+                    workload.scope_key((dist_key,)),
                     lambda: (
                         _sorted_unique_pairs(
                             plan.thread_of_nz[valid], rows_valid, base
@@ -742,17 +782,7 @@ def execute(
                 entry[1], code=entry[2] if len(entry) > 2 else None
             )
         _, inputs, cost = entry
-
-        def compute_y() -> Tuple:
-            valid = analysis.cached_array("valid", lambda: plan.out_rows >= 0)
-            try:
-                return ("ok", _functional_y(plan, x, valid, workload))
-            except PlanValidationError as exc:
-                return ("error", str(exc), code_of(exc))
-
-        y_entry = analysis.functional_y(
-            x, compute_y, scope="" if workload.is_default else workload.token
-        )
+        y_entry = functional_y_entry(plan, x, workload)
         if y_entry[0] == "error":
             raise PlanValidationError(
                 y_entry[1], code=y_entry[2] if len(y_entry) > 2 else None

@@ -39,6 +39,11 @@ from repro.gpu.arch import GPUSpec
 from repro.gpu.executor import PlanValidationError
 from repro.gpu.analysis import LeafAnalysisCache, content_digest
 from repro.search.annealing import AnnealingSchedule
+from repro.search.batcheval import (
+    BatchEvaluator,
+    design_group_key,
+    group_candidates,
+)
 from repro.search.evaluation import (
     DesignCache,
     EvaluationRuntime,
@@ -48,6 +53,8 @@ from repro.search.evaluation import (
 )
 from repro.search.mlmodel import GradientBoostedTrees, mean_absolute_deviation
 from repro.store.design import DesignStore
+from repro.store.errors import StoreError
+from repro.store.records import feature_vector, nearest_result_digest
 from repro.search.pruning import (
     PruningRules,
     SuccessiveHalvingPruner,
@@ -182,6 +189,11 @@ class SearchResult:
     #: Always 0 for the default annealer (it predates pruning and stays
     #: byte-identical).
     sampler_pruned: int = 0
+    #: donor candidates injected from the warm-start store and measured
+    #: before the ask/tell loop (0 when warm starts are off or no donor
+    #: qualified); they do occupy history slots, so warm-started
+    #: trajectories are intentionally not byte-comparable to cold runs.
+    warm_start_hits: int = 0
 
     @property
     def best_time_s(self) -> float:
@@ -224,6 +236,11 @@ class _SearchState:
     facts: Optional[MatrixFacts] = None
     static_pruned: int = 0
     sampler_pruned: int = 0
+    #: static-verifier verdicts memoized per (structure signature, params
+    #: with grid_threads masked) — the verifier reads threads_per_block
+    #: but never grid_threads, so candidates differing only in work grain
+    #: share one verdict.  Used by the batched path only.
+    static_memo: Dict[Tuple, bool] = field(default_factory=dict)
 
     def time_up(self) -> bool:
         return (
@@ -261,6 +278,8 @@ class SearchEngine:
         sampler: Optional[object] = None,
         sampler_seed: Optional[int] = None,
         enable_sampler_pruning: bool = True,
+        enable_batch_eval: bool = True,
+        warm_start_store: Optional[DesignStore] = None,
     ) -> None:
         self.gpu = gpu
         self.budget = budget or SearchBudget()
@@ -325,6 +344,24 @@ class SearchEngine:
             store=store,
             arch=gpu.name,
         )
+        #: batched group evaluator (None = legacy per-candidate path):
+        #: candidates sharing a design signature evaluate as one vectorized
+        #: pass (see :mod:`repro.search.batcheval`).  Requires both the
+        #: design and analysis caches — ablating either falls back to the
+        #: per-candidate path, so cache-off counters keep their historical
+        #: meaning (one Designer run per evaluation, etc.).  Histories are
+        #: byte-identical batched vs not.
+        self.batch: Optional[BatchEvaluator] = (
+            BatchEvaluator(self.evaluator, gpu, self.workload)
+            if enable_batch_eval
+            and self.cache is not None
+            and self.analysis is not None
+            else None
+        )
+        #: store consulted for cross-matrix warm starts (None = off): each
+        #: search seeds itself from the closest prior winner's graph,
+        #: injected as an iteration-0 candidate before the ask/tell loop.
+        self.warm_start_store = warm_start_store
         #: ``runtime`` injection lets many engines share one worker pool
         #: (the benchmark harness does this); an injected runtime is the
         #: caller's to close.
@@ -424,6 +461,23 @@ class SearchEngine:
         structure_store: Dict[Tuple, SampledStructure] = {}
         structures_tried = 0
 
+        # ---------------- Level 0: cross-matrix warm start ----------------
+        # Seed the search with the store's closest prior winner: the donor
+        # graph is a full candidate (structure + parameters), measured as
+        # an iteration-0 batch so the sampler's ask/tell loop sees it in
+        # history and every later candidate must beat it.
+        warm_start_hits = 0
+        if self.warm_start_store is not None and not state.out_of_budget():
+            donor = self._warm_start_proposal(matrix)
+            if donor is not None:
+                if donor.signature not in structure_store:
+                    structure_store[donor.signature] = donor
+                    structures_tried += 1
+                records = self._measure_batch(
+                    matrix, donor, [{}], state, level="coarse"
+                )
+                warm_start_hits = len(records)
+
         # ---------------- Levels 1 + 2: the ask/tell loop ----------------
         # The sampler owns *which* candidates to try (structures and
         # parameter assignments); the engine owns budgets, static pruning,
@@ -506,6 +560,7 @@ class SearchEngine:
             static_pruned=state.static_pruned,
             sampler=self.sampler_cls.name,
             sampler_pruned=state.sampler_pruned,
+            warm_start_hits=warm_start_hits,
         )
 
     # ------------------------------------------------------------------
@@ -534,15 +589,43 @@ class SearchEngine:
         candidates = list(assignments)
         if state.facts is not None:
             kept = []
-            for assignment in candidates:
-                graph = graph_with_params(
-                    proposal.graph, assignment, proposal.locks
-                )
-                report = analyze_design(graph, self.workload, state.facts)
-                if report.verdict is Verdict.INVALID:
-                    state.static_pruned += 1
-                else:
-                    kept.append(assignment)
+            if self.batch is not None:
+                # Batched mode: memoize verdicts per runtime-masked key
+                # (grid_threads only — the verifier reads
+                # threads_per_block), so a structure's whole work-grain
+                # axis shares one analyze_design pass.
+                op_names = [node.op_name for node in proposal.graph.walk()]
+                for assignment in candidates:
+                    merged = dict(proposal.locks)
+                    merged.update(assignment)
+                    memo_key = (
+                        proposal.signature,
+                        design_group_key(merged, op_names, keep_tpb=True),
+                    )
+                    invalid = state.static_memo.get(memo_key)
+                    if invalid is None:
+                        graph = graph_with_params(
+                            proposal.graph, assignment, proposal.locks
+                        )
+                        report = analyze_design(
+                            graph, self.workload, state.facts
+                        )
+                        invalid = report.verdict is Verdict.INVALID
+                        state.static_memo[memo_key] = invalid
+                    if invalid:
+                        state.static_pruned += 1
+                    else:
+                        kept.append(assignment)
+            else:
+                for assignment in candidates:
+                    graph = graph_with_params(
+                        proposal.graph, assignment, proposal.locks
+                    )
+                    report = analyze_design(graph, self.workload, state.facts)
+                    if report.verdict is Verdict.INVALID:
+                        state.static_pruned += 1
+                    else:
+                        kept.append(assignment)
             candidates = kept
         if prune and len(candidates) > self.sh_pruner.min_survivors:
             return self._measure_pruned(matrix, proposal, candidates, state, level)
@@ -615,17 +698,50 @@ class SearchEngine:
         (so ``max_total_evals`` holds under any worker count) and results
         fold into the search state in submission order, keeping histories
         byte-identical between serial and pooled execution.
+
+        With the batched evaluator active, candidates sharing a design
+        signature are grouped and each group evaluates as one vectorized
+        pass — a work unit of the runtime, so ``--jobs`` shards groups,
+        not candidates.  Results scatter back into submission order; a
+        group cut off by the time limit leaves holes, which only occurs
+        where reproducibility is already waived.
         """
         room = self.budget.max_total_evals - state.evals
         batch = list(candidates)[: max(0, room)]
 
-        def run(assignment: Dict):
-            return self._evaluate(matrix, proposal, assignment, state)
+        if self.batch is not None and batch:
+            groups = group_candidates(proposal, batch)
 
-        results = self.runtime.map(run, batch, stop=state.time_up)
+            def run_group(group):
+                return self.batch.evaluate_group(
+                    matrix,
+                    proposal,
+                    group.assignments,
+                    state.token,
+                    state.x,
+                    state.reference,
+                    state.verify_key,
+                )
+
+            group_results = self.runtime.map(
+                run_group, groups, stop=state.time_up
+            )
+            results = [None] * len(batch)
+            for group, outs in zip(groups, group_results):
+                for position, out in zip(group.indices, outs):
+                    results[position] = out
+        else:
+
+            def run(assignment: Dict):
+                return self._evaluate(matrix, proposal, assignment, state)
+
+            results = self.runtime.map(run, batch, stop=state.time_up)
 
         records: List[EvalRecord] = []
-        for assignment, (gflops, program, error) in zip(batch, results):
+        for assignment, result in zip(batch, results):
+            if result is None:
+                continue
+            gflops, program, error = result
             state.evals += 1
             record = EvalRecord(
                 iteration=state.evals,
@@ -689,6 +805,44 @@ class SearchEngine:
             GraphValidationError,
         ) as exc:
             return 0.0, None, f"{type(exc).__name__}: {exc}"
+
+    # ------------------------------------------------------------------
+    def _warm_start_proposal(
+        self, matrix: SparseMatrix
+    ) -> Optional[SampledStructure]:
+        """The warm-start store's closest prior winner, as a proposal.
+
+        Donor ranking is the serving frontend's tier-2 rule
+        (:func:`~repro.store.records.nearest_result_digest`): graph-bearing
+        results of the same workload, excluding this matrix itself, ranked
+        by feature-signature distance.  The donor graph carries its tuned
+        parameters, so it is proposed with empty locks and a single empty
+        assignment.  Any decode failure means no warm start, never an
+        error — the search proceeds cold.
+        """
+        store = self.warm_start_store
+        try:
+            metas = store.result_metas(self.gpu.name)
+        except StoreError:
+            return None
+        if not metas:
+            return None
+        digest = nearest_result_digest(
+            metas,
+            feature_vector(matrix),
+            workload=self.workload.name,
+            exclude_digest=matrix_token(matrix)[-1],
+        )
+        if digest is None:
+            return None
+        payload = store.result_payload(digest)
+        if payload is None or not payload.get("graph"):
+            return None
+        try:
+            graph = OperatorGraph.from_dict(payload["graph"])
+        except (KeyError, TypeError, ValueError, GraphValidationError):
+            return None
+        return SampledStructure(graph=graph, locks={})
 
     # ------------------------------------------------------------------
     def _ml_level(

@@ -38,7 +38,11 @@ a first-class subsystem with three pieces:
     Maps an evaluation function over a candidate batch — a
     ``concurrent.futures`` thread pool when ``jobs > 1``, a deterministic
     serial loop otherwise.  Results always return in submission order, so
-    search trajectories are identical for every ``jobs`` setting.
+    search trajectories are identical for every ``jobs`` setting.  Work
+    units may be whole design groups: the engine's batched path
+    (:mod:`repro.search.batcheval`) hands one
+    :class:`~repro.search.batcheval.CandidateGroup` per dispatch, so
+    ``--jobs`` shards groups, not candidates.
 """
 
 from __future__ import annotations
@@ -305,6 +309,30 @@ class StagedEvaluator:
         self.store.put_design(token, signature, self.arch, leaves=leaves)
         return leaves
 
+    def design_leaves(
+        self,
+        matrix: SparseMatrix,
+        graph: OperatorGraph,
+        token: Tuple,
+        signature: Tuple,
+    ) -> List["DesignLeaf"]:
+        """Design-phase leaves for ``(token, signature)``, cached + timed.
+
+        The batched evaluator runs the design phase once per candidate
+        *group* through this entry point (the per-candidate :meth:`build`
+        path folds the same lookup into each build).
+        """
+        t0 = time.perf_counter()
+        try:
+            if self.cache is None:
+                return self._design(matrix, graph, token, signature)
+            return self.cache.get_or_design(
+                (token, signature),
+                lambda: self._design(matrix, graph, token, signature),
+            )
+        finally:
+            self.timings.add("design", time.perf_counter() - t0)
+
     def build(
         self,
         matrix: SparseMatrix,
@@ -328,14 +356,7 @@ class StagedEvaluator:
         token = token or matrix_token(matrix)
         signature = design_signature(graph)
         key = (token, signature)
-        t0 = time.perf_counter()
-        if self.cache is None:
-            leaves = self._design(matrix, graph, token, signature)
-        else:
-            leaves = self.cache.get_or_design(
-                key, lambda: self._design(matrix, graph, token, signature)
-            )
-        self.timings.add("design", time.perf_counter() - t0)
+        leaves = self.design_leaves(matrix, graph, token, signature)
         design = None if self.analysis is None else self.analysis.for_design(key)
         t0 = time.perf_counter()
         program = self.builder.assembly_phase(
@@ -400,11 +421,11 @@ class EvaluationRuntime:
     collection.  Both paths return results in submission order, and
     evaluation tasks draw no random numbers, so search results are
     identical for every ``jobs`` setting — except under a wall-clock
-    ``stop`` condition (``SearchBudget.time_limit_s``): the serial loop
-    polls ``stop`` between items and may cut a batch short, while the
-    pooled path checks it once and lets a dispatched batch finish.
-    Time-limited runs are wall-clock-dependent and not reproducible even
-    serially, so only count-budgeted searches carry the identity guarantee.
+    ``stop`` condition (``SearchBudget.time_limit_s``): both paths poll
+    ``stop`` between dispatches and may cut a batch short, but work already
+    dispatched to the pool always completes.  Time-limited runs are
+    wall-clock-dependent and not reproducible even serially, so only
+    count-budgeted searches carry the identity guarantee.
     """
 
     def __init__(self, jobs: int = 1) -> None:
@@ -423,9 +444,9 @@ class EvaluationRuntime:
     ) -> List[_R]:
         """Apply ``fn`` to every item, in order.
 
-        ``stop`` is polled between items on the serial path (time-budget
-        checks); on the pooled path it is checked once before dispatch —
-        a batch in flight always completes.
+        ``stop`` is polled between dispatches on both paths (time-budget
+        checks) — serial between item evaluations, pooled between submits;
+        items already submitted to the pool always complete.
         """
         items = list(items)
         if self.jobs == 1 or len(items) <= 1:
@@ -435,9 +456,13 @@ class EvaluationRuntime:
                     break
                 out.append(fn(item))
             return out
-        if stop is not None and stop():
-            return []
-        return list(self._ensure_pool().map(fn, items))
+        pool = self._ensure_pool()
+        futures = []
+        for item in items:
+            if stop is not None and stop():
+                break
+            futures.append(pool.submit(fn, item))
+        return [future.result() for future in futures]
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:

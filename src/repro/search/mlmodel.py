@@ -52,11 +52,17 @@ class RegressionTree:
 
     # ------------------------------------------------------------------
     def fit(
-        self, X: np.ndarray, y: np.ndarray, order: Optional[np.ndarray] = None
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        order: Optional[np.ndarray] = None,
+        root_ctx: Optional[Tuple] = None,
     ) -> "RegressionTree":
         """Fit the tree.  ``order`` optionally supplies the per-column
         stable argsort of ``X`` — boosting refits the same ``X`` for every
-        estimator, so the caller can sort once for the whole ensemble."""
+        estimator, so the caller can sort once for the whole ensemble
+        (``root_ctx``, from :func:`_root_split_prep`, extends the same
+        sharing to the small-sample list build)."""
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
         if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
@@ -64,21 +70,26 @@ class RegressionTree:
         if X.shape[0] == 0:
             raise ValueError("cannot fit on empty data")
         self.train_predictions = np.empty(X.shape[0], dtype=np.float64)
-        self._root = self._build(
-            X,
-            y,
-            depth=0,
-            idx=np.arange(X.shape[0]),
-            out=self.train_predictions,
-            order=order,
-        )
+        if X.shape[0] <= self._SMALL_N:
+            self._root = self._build_small(X, y, order, root_ctx)
+        else:
+            self._root = self._build(
+                X,
+                y,
+                depth=0,
+                idx=np.arange(X.shape[0]),
+                out=self.train_predictions,
+                order=order,
+            )
         self._flat = self._flatten(self._root)
         return self
 
     @staticmethod
-    def _flatten(root: _Node) -> Tuple[np.ndarray, ...]:
-        """Array form of the tree (feature/threshold/children/value per
-        node; ``feature == -1`` marks leaves) for vectorised prediction."""
+    def _flatten(root: _Node) -> Tuple[List, ...]:
+        """Flat form of the tree (feature/threshold/children/value per
+        node; ``feature == -1`` marks leaves).  Kept as plain lists —
+        boosting flattens hundreds of tiny trees and the ensemble stacks
+        them into arrays once, so per-tree array construction is avoided."""
         features: List[int] = []
         thresholds: List[float] = []
         lefts: List[int] = []
@@ -98,13 +109,7 @@ class RegressionTree:
             return idx
 
         add(root)
-        return (
-            np.asarray(features, dtype=np.int64),
-            np.asarray(thresholds, dtype=np.float64),
-            np.asarray(lefts, dtype=np.int64),
-            np.asarray(rights, dtype=np.int64),
-            np.asarray(values, dtype=np.float64),
-        )
+        return (features, thresholds, lefts, rights, values)
 
     def _build(
         self,
@@ -179,33 +184,53 @@ class RegressionTree:
     def _best_split_small(
         self, X: np.ndarray, y: np.ndarray, order: Optional[np.ndarray]
     ) -> Optional[Tuple[int, float]]:
-        """Pure-Python split scan for small sample counts.
+        """Pure-Python split scan for small sample counts (array wrapper
+        around :meth:`_best_split_lists`)."""
+        cols = X.T.tolist()
+        orders = order.T.tolist() if order is not None else None
+        return self._best_split_lists(cols, y.tolist(), orders)
+
+    def _best_split_lists(
+        self,
+        cols: List[List[float]],
+        ylist: List[float],
+        orders: Optional[List[List[int]]],
+        prep: Optional[List[Tuple[List[int], List[float], List[int]]]] = None,
+    ) -> Optional[Tuple[int, float]]:
+        """Split scan over column/target lists.
 
         Identical arithmetic and tie-breaking to the vectorised path: the
         same sequential prefix sums, the same strict-improvement scan over
-        features then split positions.
+        features then split positions.  ``prep`` optionally supplies, per
+        feature, ``(sort order, sorted values, valid split positions)`` —
+        all constant across boosting rounds on the same ``X``, so the
+        ensemble fit computes them once (see :func:`_root_split_prep`).
         """
-        n, d = X.shape
+        n = len(ylist)
         lo = self.min_samples_leaf
         hi = n - lo + 1
         if hi <= lo:
             return None
-        ylist = y.tolist()
         total_y = sum(ylist)
         mean = total_y / n
-        base_sse = sum((v - mean) ** 2 for v in ylist)
-        cols = X.T.tolist()
-        orders = order.T.tolist() if order is not None else None
+        base_sse = 0.0
+        for v in ylist:
+            base_sse += (v - mean) ** 2
         best_gain = 1e-12
         best: Optional[Tuple[int, float]] = None
-        for j in range(d):
-            col = cols[j]
-            oj = (
-                orders[j]
-                if orders is not None
-                else sorted(range(n), key=col.__getitem__)
-            )
-            xs = [col[k] for k in oj]
+        for j, col in enumerate(cols):
+            if prep is not None:
+                oj, xs, positions = prep[j]
+                if not positions:
+                    continue  # every adjacent sorted pair is equal
+            else:
+                oj = (
+                    orders[j]
+                    if orders is not None
+                    else sorted(range(n), key=col.__getitem__)
+                )
+                xs = [col[k] for k in oj]
+                positions = None
             ys = [ylist[k] for k in oj]
             csum = [0.0] * n
             csum2 = [0.0] * n
@@ -215,8 +240,8 @@ class RegressionTree:
                 acc2 += v * v
                 csum[k] = acc
                 csum2[k] = acc2
-            for i in range(lo, hi):
-                if xs[i - 1] == xs[i]:
+            for i in positions if positions is not None else range(lo, hi):
+                if positions is None and xs[i - 1] == xs[i]:
                     continue  # cannot split between equal values
                 left_sse = csum2[i - 1] - csum[i - 1] ** 2 / i
                 right_sum = acc - csum[i - 1]
@@ -227,12 +252,133 @@ class RegressionTree:
                     best = (j, (xs[i - 1] + xs[i]) / 2.0)
         return best
 
+    @staticmethod
+    def _np_pairwise_sum(values: List[float]) -> float:
+        """``float(np.sum(values))``, replicated on a Python list.
+
+        NumPy reduces contiguous float64 with a pairwise scheme whose base
+        case (n <= 128) runs 8 interleaved accumulators combined as
+        ``((r0+r1)+(r2+r3)) + ((r4+r5)+(r6+r7))`` plus a sequential tail —
+        this mirrors that order exactly, so the list-based tree build below
+        produces node values bit-identical to the array build's
+        ``float(y.sum())``.  Callers stay below ``_SMALL_N`` (< 128), where
+        the base case always applies.
+        """
+        n = len(values)
+        if n < 8:
+            res = 0.0
+            for v in values:
+                res += v
+            return res
+        r0, r1, r2, r3, r4, r5, r6, r7 = values[:8]
+        limit = n - (n % 8)
+        for i in range(8, limit, 8):
+            r0 += values[i]
+            r1 += values[i + 1]
+            r2 += values[i + 2]
+            r3 += values[i + 3]
+            r4 += values[i + 4]
+            r5 += values[i + 5]
+            r6 += values[i + 6]
+            r7 += values[i + 7]
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        for i in range(limit, n):
+            res += values[i]
+        return res
+
+    def _build_small(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        order: Optional[np.ndarray],
+        root_ctx: Optional[Tuple] = None,
+    ) -> _Node:
+        """List-based tree build for small sample counts.
+
+        Boosting fits hundreds of trees on a handful of coarse-grid samples;
+        per-node array slicing is then pure NumPy call overhead.  This path
+        converts ``X``/``y`` to lists once and recurses on them — node
+        values replicate ``float(y.sum()) / n`` via :meth:`_np_pairwise_sum`
+        and splits/partitions use the exact comparisons of :meth:`_build`,
+        so the resulting tree (and ``train_predictions``) is bit-identical.
+
+        ``root_ctx`` optionally carries ``(cols, prep)`` from
+        :func:`_root_split_prep` — the column lists and per-feature root
+        scan machinery, shared across every tree of one boosted ensemble.
+        """
+        if root_ctx is not None:
+            cols, root_prep = root_ctx
+            root_orders = None
+        else:
+            cols = X.T.tolist()
+            root_prep = None
+            root_orders = order.T.tolist() if order is not None else None
+        ylist = y.tolist()
+        #: plain-list leaf-value sink, copied into ``train_predictions`` in
+        #: one vectorised assignment at the end (same float64 values).
+        out: List[float] = [0.0] * len(ylist)
+
+        def build(
+            sub_cols: List[List[float]],
+            sub_y: List[float],
+            depth: int,
+            idx: List[int],
+            orders: Optional[List[List[int]]],
+            prep: Optional[List[Tuple[List[int], List[float], List[int]]]],
+        ) -> _Node:
+            m = len(sub_y)
+            node = _Node(value=self._np_pairwise_sum(sub_y) / m)
+            if depth >= self.max_depth or m < 2 * self.min_samples_leaf:
+                for k in idx:
+                    out[k] = node.value
+                return node
+            best = self._best_split_lists(sub_cols, sub_y, orders, prep)
+            if best is None:
+                for k in idx:
+                    out[k] = node.value
+                return node
+            feature, threshold = best
+            fcol = sub_cols[feature]
+            left = [k for k in range(m) if fcol[k] <= threshold]
+            right = [k for k in range(m) if not (fcol[k] <= threshold)]
+            node.feature = feature
+            node.threshold = threshold
+            node.left = build(
+                [[col[k] for k in left] for col in sub_cols],
+                [sub_y[k] for k in left],
+                depth + 1,
+                [idx[k] for k in left],
+                None,
+                None,
+            )
+            node.right = build(
+                [[col[k] for k in right] for col in sub_cols],
+                [sub_y[k] for k in right],
+                depth + 1,
+                [idx[k] for k in right],
+                None,
+                None,
+            )
+            return node
+
+        root = build(
+            cols, ylist, 0, list(range(len(ylist))), root_orders, root_prep
+        )
+        self.train_predictions[:] = out
+        return root
+
     # ------------------------------------------------------------------
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self._root is None or self._flat is None:
             raise RuntimeError("tree is not fitted")
         X = np.asarray(X, dtype=np.float64)
-        features, thresholds, lefts, rights, values = self._flat
+        features, thresholds, lefts, rights, values = (
+            np.asarray(part, dtype=dt)
+            for part, dt in zip(
+                self._flat,
+                (np.int64, np.float64, np.int64, np.int64, np.float64),
+            )
+        )
         idx = np.zeros(X.shape[0], dtype=np.int64)
         # Level-synchronous descent: one vectorised step per tree level
         # instead of a Python loop per sample.
@@ -243,6 +389,29 @@ class RegressionTree:
             idx[active] = np.where(go_left, lefts[node], rights[node])
             active = active[features[idx[active]] >= 0]
         return values[idx]
+
+
+def _root_split_prep(
+    X: np.ndarray, order: np.ndarray, min_samples_leaf: int
+) -> Tuple[List[List[float]], List[Tuple[List[int], List[float], List[int]]]]:
+    """Root-scan machinery shared across one boosted ensemble.
+
+    Returns ``(cols, prep)``: the column lists of ``X`` plus, per feature,
+    ``(sort order, sorted values, valid split positions)``.  Only the
+    residual changes between boosting rounds, so every tree's root split
+    scan reuses these instead of re-deriving them.
+    """
+    cols = X.T.tolist()
+    orders = order.T.tolist()
+    n = X.shape[0]
+    lo = min_samples_leaf
+    hi = n - lo + 1
+    prep = []
+    for col, oj in zip(cols, orders):
+        xs = [col[k] for k in oj]
+        positions = [i for i in range(lo, hi) if xs[i - 1] != xs[i]]
+        prep.append((oj, xs, positions))
+    return (cols, prep)
 
 
 class GradientBoostedTrees:
@@ -281,11 +450,17 @@ class GradientBoostedTrees:
         self._trees = []
         residual = y - self._base
         # The train matrix never changes across estimators: sort its
-        # columns once for every root-level split search.
+        # columns once for every root-level split search (and, on the
+        # small-sample path, share the whole root-scan machinery).
         root_order = np.argsort(X, axis=0, kind="stable")
+        root_ctx = (
+            _root_split_prep(X, root_order, self.min_samples_leaf)
+            if X.shape[0] <= RegressionTree._SMALL_N
+            else None
+        )
         for _ in range(self.n_estimators):
             tree = RegressionTree(self.max_depth, self.min_samples_leaf)
-            tree.fit(X, residual, order=root_order)
+            tree.fit(X, residual, order=root_order, root_ctx=root_ctx)
             # Each training sample's prediction is its leaf value, recorded
             # during the build — no predict pass over the train set needed.
             update = tree.train_predictions
@@ -307,18 +482,18 @@ class GradientBoostedTrees:
         for tree in self._trees:
             f, t, l, r, v = tree._flat
             roots.append(offset)
-            features.append(f)
-            thresholds.append(t)
-            lefts.append(np.where(l >= 0, l + offset, -1))
-            rights.append(np.where(r >= 0, r + offset, -1))
-            values.append(v)
-            offset += f.size
+            features.extend(f)
+            thresholds.extend(t)
+            lefts.extend(x + offset if x >= 0 else -1 for x in l)
+            rights.extend(x + offset if x >= 0 else -1 for x in r)
+            values.extend(v)
+            offset += len(f)
         return (
-            np.concatenate(features),
-            np.concatenate(thresholds),
-            np.concatenate(lefts),
-            np.concatenate(rights),
-            np.concatenate(values),
+            np.asarray(features, dtype=np.int64),
+            np.asarray(thresholds, dtype=np.float64),
+            np.asarray(lefts, dtype=np.int64),
+            np.asarray(rights, dtype=np.int64),
+            np.asarray(values, dtype=np.float64),
             np.asarray(roots, dtype=np.int64),
         )
 

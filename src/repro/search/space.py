@@ -42,10 +42,17 @@ class SampledStructure:
 
     graph: OperatorGraph
     locks: Dict[ParamKey, object] = field(default_factory=dict)
+    #: memoised structure signature — the graph never mutates after
+    #: sampling, and the engine reads this per candidate in its hot loop.
+    _signature: Optional[Tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def signature(self) -> Tuple:
-        return self.graph.structure_signature()
+        if self._signature is None:
+            self._signature = self.graph.structure_signature()
+        return self._signature
 
 
 # ---------------------------------------------------------------------------

@@ -69,6 +69,7 @@ from repro.store.errors import StoreError
 from repro.store.records import (
     feature_vector,
     make_result_record,
+    nearest_result_digest,
     search_result_record,
 )
 from repro.workloads import Workload, ensure_engine_workload
@@ -545,30 +546,18 @@ class Frontend:
 
         Ranking walks only the store's lightweight ``.meta`` sidecars —
         O(results) small reads — and decodes the one chosen donor's full
-        record (artifact included) at the end."""
-        own = np.asarray(feature_vector(matrix))
-        best: Optional[Tuple[Tuple[float, str, str], str]] = None
-        for digest, meta in self._cached_metas():
-            if not meta.get("has_graph"):
-                continue
-            # Donors must share the request's workload (absent == spmv):
-            # a SpMM request never transfers a SpMV design.
-            if meta.get("workload", "spmv") != self.workload.name:
-                continue
-            if meta.get("matrix_digest") == token[-1]:
-                continue
-            features = meta.get("features")
-            if not features or len(features) != own.size:
-                continue
-            distance = float(
-                np.linalg.norm(own - np.asarray(features, dtype=float))
-            )
-            rank = (distance, str(meta.get("name") or ""), digest)
-            if best is None or rank < best[0]:
-                best = (rank, digest)
-        if best is None:
+        record (artifact included) at the end.  The ranking rule itself is
+        :func:`repro.store.records.nearest_result_digest`, shared with the
+        engine's cross-matrix warm start."""
+        digest = nearest_result_digest(
+            self._cached_metas(),
+            feature_vector(matrix),
+            workload=self.workload.name,
+            exclude_digest=token[-1],
+        )
+        if digest is None:
             return None
-        return self.store.result_payload(best[1])
+        return self.store.result_payload(digest)
 
     def _evaluate_transfer(
         self, matrix: SparseMatrix, token: Tuple, graph: OperatorGraph

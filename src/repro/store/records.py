@@ -12,7 +12,9 @@ vector) and, optionally, the full exported artifact payload — so
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.graph import OperatorGraph
 from repro.core.kernel.program import GeneratedProgram
@@ -23,6 +25,7 @@ __all__ = [
     "FEATURE_NAMES",
     "feature_vector",
     "make_result_record",
+    "nearest_result_digest",
     "search_result_record",
 ]
 
@@ -54,6 +57,45 @@ def feature_vector(matrix: SparseMatrix) -> List[float]:
         float(s.density),
         s.empty_rows / s.n_rows if s.n_rows else 0.0,
     ]
+
+
+def nearest_result_digest(
+    metas: Sequence[Tuple[str, Dict]],
+    own_features: Sequence[float],
+    workload: str = "spmv",
+    exclude_digest: Optional[str] = None,
+) -> Optional[str]:
+    """Digest of the stored result whose feature signature is closest.
+
+    The donor-ranking rule shared by the serving frontend's tier-2
+    neighbour transfer and the engine's cross-matrix warm start: walk the
+    lightweight ``(digest, meta)`` sidecar pairs, keep graph-bearing
+    records of the same workload (absent == spmv) that are not the matrix
+    itself (``exclude_digest`` is its content digest), and rank by
+    Euclidean feature distance with a deterministic ``(name, digest)``
+    tie-break.  Returns ``None`` when no donor qualifies.
+    """
+    own = np.asarray(own_features, dtype=float)
+    best: Optional[Tuple[Tuple[float, str, str], str]] = None
+    for digest, meta in metas:
+        if not meta.get("has_graph"):
+            continue
+        # Donors must share the request's workload (absent == spmv): a
+        # SpMM request never transfers a SpMV design.
+        if meta.get("workload", "spmv") != workload:
+            continue
+        if exclude_digest is not None and meta.get("matrix_digest") == exclude_digest:
+            continue
+        features = meta.get("features")
+        if not features or len(features) != own.size:
+            continue
+        distance = float(
+            np.linalg.norm(own - np.asarray(features, dtype=float))
+        )
+        rank = (distance, str(meta.get("name") or ""), digest)
+        if best is None or rank < best[0]:
+            best = (rank, digest)
+    return None if best is None else best[1]
 
 
 def search_result_record(

@@ -72,7 +72,11 @@ class TestCacheCorrectness:
         assert cached.best_graph.signature() == uncached.best_graph.signature()
 
     def test_counters_surfaced(self, cached, uncached):
-        assert cached.design_cache_hits + cached.design_cache_misses == \
+        # The batched path looks the design cache up once per candidate
+        # *group*, not once per candidate — lookups are bounded by (and
+        # usually far below) the evaluation count.
+        assert cached.design_cache_misses > 0
+        assert cached.design_cache_hits + cached.design_cache_misses <= \
             cached.total_evaluations
         assert cached.designer_runs == cached.design_cache_misses
         assert uncached.design_cache_hits == 0
@@ -124,7 +128,12 @@ class TestDesignerRunReduction:
         cached = SearchEngine(A100, budget=SearchBudget(), seed=0).search(m)
         # Uncached baseline runs the Designer once per evaluation.
         assert cached.designer_runs * 5 <= cached.total_evaluations
-        assert cached.design_cache_hit_rate >= 0.8
+        # Batched evaluation collapses cache traffic itself: one lookup
+        # per design group instead of one per candidate.
+        assert (
+            cached.design_cache_hits + cached.design_cache_misses
+            < cached.total_evaluations
+        )
 
 
 class TestBudgetAndNumbering:
